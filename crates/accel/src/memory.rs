@@ -1,0 +1,206 @@
+//! Device global-memory capacity tracking.
+//!
+//! Section 5.1 step 1: "the forward and backward wave-field variables of RTM
+//! cannot be allocated at the same time on GPU" and Table 3: "the elastic
+//! variables could not fit in GPU memory when Fermi card was used". This
+//! allocator enforces the card capacity so the drivers hit the same walls
+//! (and the same `X` table cells) the authors did.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error returned when an allocation exceeds the card's global memory —
+/// the simulated analogue of `cudaErrorMemoryAllocation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes already allocated.
+    pub in_use: u64,
+    /// Card capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} MB with {} MB of {} MB in use",
+            self.requested >> 20,
+            self.in_use >> 20,
+            self.capacity >> 20
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Handle to one device allocation; dropping it frees the bytes.
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    id: u64,
+    bytes: u64,
+    mem: Arc<MemInner>,
+}
+
+impl DeviceBuffer {
+    /// Size of the allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Opaque allocation id (profiler correlation).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for DeviceBuffer {
+    fn drop(&mut self) {
+        let mut live = self.mem.live.lock();
+        if live.remove(&self.id).is_some() {
+            self.mem.in_use.fetch_sub(self.bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MemInner {
+    capacity: u64,
+    in_use: AtomicU64,
+    next_id: AtomicU64,
+    live: Mutex<HashMap<u64, u64>>,
+}
+
+/// Global-memory arena of one simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    inner: Arc<MemInner>,
+}
+
+impl DeviceMemory {
+    /// New arena with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Arc::new(MemInner {
+                capacity,
+                in_use: AtomicU64::new(0),
+                next_id: AtomicU64::new(1),
+                live: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Allocate `bytes`; fails with [`OutOfMemory`] when the card is full.
+    pub fn alloc(&self, bytes: u64) -> Result<DeviceBuffer, OutOfMemory> {
+        let mut live = self.inner.live.lock();
+        let in_use = self.inner.in_use.load(Ordering::Relaxed);
+        if in_use + bytes > self.inner.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use,
+                capacity: self.inner.capacity,
+            });
+        }
+        self.inner.in_use.fetch_add(bytes, Ordering::Relaxed);
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        live.insert(id, bytes);
+        Ok(DeviceBuffer {
+            id,
+            bytes,
+            mem: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Bytes currently allocated (what `nvidia-smi` showed the authors).
+    pub fn in_use(&self) -> u64 {
+        self.inner.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Card capacity.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Free bytes remaining.
+    pub fn free(&self) -> u64 {
+        self.capacity() - self.in_use()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.inner.live.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_drop_frees() {
+        let mem = DeviceMemory::new(1000);
+        let a = mem.alloc(400).unwrap();
+        assert_eq!(mem.in_use(), 400);
+        assert_eq!(mem.live_allocations(), 1);
+        drop(a);
+        assert_eq!(mem.in_use(), 0);
+        assert_eq!(mem.free(), 1000);
+        assert_eq!(mem.live_allocations(), 0);
+    }
+
+    #[test]
+    fn oom_when_full() {
+        let mem = DeviceMemory::new(1000);
+        let _a = mem.alloc(800).unwrap();
+        let err = mem.alloc(300).unwrap_err();
+        assert_eq!(err.requested, 300);
+        assert_eq!(err.in_use, 800);
+        assert_eq!(err.capacity, 1000);
+        let msg = err.to_string();
+        assert!(msg.contains("out of memory"));
+        // Failing alloc must not leak accounting.
+        assert_eq!(mem.in_use(), 800);
+    }
+
+    #[test]
+    fn exact_fit_allowed() {
+        let mem = DeviceMemory::new(1000);
+        let _a = mem.alloc(1000).unwrap();
+        assert_eq!(mem.free(), 0);
+        assert!(mem.alloc(1).is_err());
+    }
+
+    #[test]
+    fn buffer_ids_are_unique() {
+        let mem = DeviceMemory::new(1000);
+        let a = mem.alloc(100).unwrap();
+        let b = mem.alloc(100).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.bytes(), 100);
+    }
+
+    #[test]
+    fn concurrent_allocs_never_oversubscribe() {
+        let mem = DeviceMemory::new(10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let mem = mem.clone();
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for _ in 0..100 {
+                        if let Ok(b) = mem.alloc(100) {
+                            assert!(mem.in_use() <= mem.capacity());
+                            held.push(b);
+                        }
+                        held.pop();
+                    }
+                });
+            }
+        });
+        assert!(mem.in_use() <= mem.capacity());
+    }
+}

@@ -1,0 +1,149 @@
+//! Occupancy and register-spill model.
+//!
+//! Occupancy — "number of concurrently running threads" (Section 5.2) — is
+//! limited by how many registers each thread holds: an SM's register file is
+//! shared by all resident threads. Capping registers per thread (the PGI
+//! `maxregcount` flag) raises occupancy but, once the kernel's live values
+//! exceed the cap, forces *spills* to local (DRAM-backed) memory, adding
+//! traffic. The paper found 64 registers/thread to be the sweet spot on both
+//! cards for the elastic model (Figure 10); this module reproduces exactly
+//! that occupancy-vs-spill trade-off.
+
+use crate::DeviceSpec;
+
+/// Result of allocating a kernel's registers under a cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegAllocation {
+    /// Registers each thread actually holds (≤ cap).
+    pub regs_per_thread: u32,
+    /// Live values that did not fit and spill to local memory.
+    pub spilled: u32,
+    /// Occupancy: resident threads / max resident threads, in (0, 1].
+    pub occupancy: f64,
+}
+
+/// Allocate `regs_needed` live values per thread under an optional
+/// `maxregcount` cap on the given device.
+pub fn allocate(dev: &DeviceSpec, regs_needed: u32, maxregcount: Option<u32>) -> RegAllocation {
+    assert!(regs_needed > 0, "kernel needs at least one register");
+    let hw_cap = dev.max_regs_per_thread;
+    let cap = maxregcount.map_or(hw_cap, |m| m.clamp(16, hw_cap));
+    // Given headroom, compilers allocate beyond the minimum live set —
+    // caching reused values and unrolling — up to ~2× the kernel's needs.
+    // (modeled as 1.75×). This is why the paper's sweet spot is an explicit
+    // `maxregcount:64` rather than the Kepler hardware default of 255
+    // (Figure 10): the unconstrained allocation cuts occupancy for no
+    // matching win.
+    let regs = (regs_needed.saturating_mul(7) / 4).min(cap).max(regs_needed.min(cap));
+    let spilled = regs_needed.saturating_sub(cap);
+    // Threads resident per SM limited by the register file.
+    let by_regs = dev.regs_per_sm / regs.max(1);
+    let resident = by_regs.min(dev.max_threads_per_sm);
+    // Round down to whole warps — partially filled warps don't help.
+    let resident = (resident / dev.warp_size) * dev.warp_size;
+    let occupancy = f64::from(resident.max(dev.warp_size)) / f64::from(dev.max_threads_per_sm);
+    RegAllocation {
+        regs_per_thread: regs,
+        spilled,
+        occupancy: occupancy.min(1.0),
+    }
+}
+
+/// Extra DRAM bytes per grid point caused by spills: each spilled value is
+/// stored and reloaded roughly once per point, 4 bytes each way, with a
+/// factor for L1/L2 catching part of the traffic.
+pub fn spill_bytes_per_point(spilled: u32) -> f64 {
+    const SPILL_CACHE_FACTOR: f64 = 0.8; // L1/L2 catch only a sliver (era cards)
+    f64::from(spilled) * 8.0 * SPILL_CACHE_FACTOR
+}
+
+/// How much of the device's peak a kernel can sustain at a given occupancy.
+///
+/// Latency hiding needs enough resident warps; beyond a saturation point
+/// extra occupancy stops helping. The memory pipeline saturates later than
+/// the ALUs (more in-flight loads are needed to cover DRAM latency).
+pub fn efficiency(occupancy: f64) -> (f64, f64) {
+    const COMPUTE_SAT: f64 = 0.25;
+    const MEMORY_SAT: f64 = 0.30;
+    let compute = (occupancy / COMPUTE_SAT).min(1.0);
+    let memory = (occupancy / MEMORY_SAT).min(1.0);
+    (compute, memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_spill_under_cap() {
+        let dev = DeviceSpec::k40();
+        let a = allocate(&dev, 60, None);
+        assert_eq!(a.spilled, 0);
+        // Aggressive allocation: 1.75× the live set when headroom allows.
+        assert_eq!(a.regs_per_thread, 105);
+        assert!(a.occupancy > 0.0 && a.occupancy <= 1.0);
+    }
+
+    /// The Figure 12 mechanism: a 96-register kernel spills on Fermi
+    /// (cap 63) but not on Kepler (cap 255).
+    #[test]
+    fn fermi_spills_kepler_does_not() {
+        let fermi = allocate(&DeviceSpec::m2090(), 96, None);
+        let kepler = allocate(&DeviceSpec::k40(), 96, None);
+        assert!(fermi.spilled > 0, "Fermi must spill");
+        assert_eq!(kepler.spilled, 0, "Kepler must not spill");
+    }
+
+    /// Figure 10 mechanism: lowering maxregcount raises occupancy but
+    /// introduces spills; raising it does the reverse.
+    #[test]
+    fn maxregcount_tradeoff() {
+        let dev = DeviceSpec::k40();
+        let tight = allocate(&dev, 80, Some(32));
+        let loose = allocate(&dev, 80, Some(128));
+        assert!(tight.occupancy > loose.occupancy);
+        assert!(tight.spilled > 0);
+        assert_eq!(loose.spilled, 0);
+    }
+
+    #[test]
+    fn maxregcount_clamped_to_hw() {
+        let dev = DeviceSpec::m2090();
+        let a = allocate(&dev, 200, Some(255)); // above the Fermi HW cap
+        assert_eq!(a.regs_per_thread, 63);
+        assert_eq!(a.spilled, 200 - 63);
+    }
+
+    #[test]
+    fn occupancy_rounds_to_warps_and_is_positive() {
+        let dev = DeviceSpec::m2090();
+        // Huge register demand → tiny occupancy, but at least one warp.
+        let a = allocate(&dev, 63, Some(63));
+        let resident = (dev.regs_per_sm / 63 / dev.warp_size) * dev.warp_size;
+        let expect = f64::from(resident) / f64::from(dev.max_threads_per_sm);
+        assert!((a.occupancy - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_saturates() {
+        let (c_low, m_low) = efficiency(0.1);
+        let (c_hi, m_hi) = efficiency(0.9);
+        assert!(c_low < 1.0 && m_low < 1.0);
+        assert_eq!(c_hi, 1.0);
+        assert_eq!(m_hi, 1.0);
+        // Memory pipeline needs more occupancy than ALUs.
+        assert!(m_low < c_low);
+    }
+
+    #[test]
+    fn spill_bytes_monotone() {
+        assert_eq!(spill_bytes_per_point(0), 0.0);
+        assert!(spill_bytes_per_point(20) > spill_bytes_per_point(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_rejected() {
+        allocate(&DeviceSpec::k40(), 0, None);
+    }
+}

@@ -1,0 +1,296 @@
+//! `nvprof`-style event ledger.
+//!
+//! "Nvidia profiler was the main tool used to analyze our performance
+//! measurements" (Section 6). The drivers record every simulated kernel
+//! launch and memcpy here; [`Profiler::summary`] regenerates the
+//! kernel-percentage breakdowns of Figures 11, 14, and 15.
+
+use crate::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Kind of a timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Device kernel execution.
+    Kernel,
+    /// Host→device copy.
+    MemcpyH2D,
+    /// Device→host copy.
+    MemcpyD2H,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kernel name, or a transfer label.
+    pub name: String,
+    /// Duration, seconds.
+    pub duration_s: SimTime,
+    /// Stream id.
+    pub stream: u32,
+}
+
+/// Aggregated statistics for one kernel/transfer name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameStats {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Number of invocations (nvprof's bracketed count).
+    pub invocations: u64,
+    /// Total time, seconds.
+    pub total_s: SimTime,
+    /// Share of all *compute* time (kernels only), 0–1.
+    pub compute_share: f64,
+}
+
+/// Thread-safe simulated profiler.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Profiler {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&self, kind: EventKind, name: impl Into<String>, duration_s: SimTime, stream: u32) {
+        self.events.lock().push(Event {
+            kind,
+            name: name.into(),
+            duration_s,
+            stream,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Total simulated kernel (compute) time.
+    pub fn compute_time(&self) -> SimTime {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| e.duration_s)
+            .sum()
+    }
+
+    /// Total simulated transfer time.
+    pub fn transfer_time(&self) -> SimTime {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind != EventKind::Kernel)
+            .map(|e| e.duration_s)
+            .sum()
+    }
+
+    /// Per-name aggregation, sorted by descending total time.
+    pub fn summary(&self) -> Vec<(String, NameStats)> {
+        let events = self.events.lock();
+        let compute: f64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| e.duration_s)
+            .sum();
+        let mut map: BTreeMap<String, NameStats> = BTreeMap::new();
+        for e in events.iter() {
+            let s = map.entry(e.name.clone()).or_insert(NameStats {
+                kind: e.kind,
+                invocations: 0,
+                total_s: 0.0,
+                compute_share: 0.0,
+            });
+            s.invocations += 1;
+            s.total_s += e.duration_s;
+        }
+        for s in map.values_mut() {
+            if s.kind == EventKind::Kernel && compute > 0.0 {
+                s.compute_share = s.total_s / compute;
+            }
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_s.total_cmp(&a.1.total_s));
+        out
+    }
+
+    /// Render an `nvprof`-like text block (the Figure 14/15 layout):
+    /// `percent% [invocations] name` for each kernel, plus memcpy rows.
+    pub fn render(&self, device_name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[0] {device_name}");
+        let _ = writeln!(out, "  Context 1 (SIM)");
+        let h2d: f64 = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == EventKind::MemcpyH2D)
+            .map(|e| e.duration_s)
+            .sum();
+        let d2h: f64 = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == EventKind::MemcpyD2H)
+            .map(|e| e.duration_s)
+            .sum();
+        let _ = writeln!(out, "    MemCpy (HtoD)  {:.3} s", h2d);
+        let _ = writeln!(out, "    MemCpy (DtoH)  {:.3} s", d2h);
+        let _ = writeln!(out, "    Compute");
+        for (name, s) in self.summary() {
+            if s.kind == EventKind::Kernel {
+                let _ = writeln!(
+                    out,
+                    "      {:5.1}% [{}] {}",
+                    s.compute_share * 100.0,
+                    s.invocations,
+                    name
+                );
+            }
+        }
+        out
+    }
+
+    /// Forget all events (reused between experiment phases).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Export the ledger as a Chrome trace-event JSON string
+    /// (`chrome://tracing` / Perfetto compatible).
+    ///
+    /// The ledger stores durations, not wall-clock starts, so events are
+    /// laid out serially *per stream* in recording order — exact for the
+    /// synchronous queue, an in-order approximation for async queues.
+    pub fn export_chrome_trace(&self, process_name: &str) -> String {
+        let events = self.events.lock();
+        let mut out = String::from("[");
+        let mut stream_clock: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut first = true;
+        for e in events.iter() {
+            let t0 = stream_clock.entry(e.stream).or_insert(0.0);
+            let start_us = *t0 * 1e6;
+            let dur_us = e.duration_s * 1e6;
+            *t0 += e.duration_s;
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let cat = match e.kind {
+                EventKind::Kernel => "kernel",
+                EventKind::MemcpyH2D => "memcpy_h2d",
+                EventKind::MemcpyD2H => "memcpy_d2h",
+            };
+            // Names never contain quotes/backslashes (kernel identifiers),
+            // so plain formatting is JSON-safe here.
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":\"{}\",\"tid\":\"stream {}\"}}",
+                e.name, cat, start_us, dur_us, process_name, e.stream
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let p = Profiler::new();
+        p.record(EventKind::Kernel, "main", 3.0, 0);
+        p.record(EventKind::Kernel, "main", 1.0, 0);
+        p.record(EventKind::Kernel, "inject", 1.0, 0);
+        p.record(EventKind::MemcpyH2D, "model", 0.5, 0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.compute_time(), 5.0);
+        assert_eq!(p.transfer_time(), 0.5);
+        let s = p.summary();
+        // Sorted descending by time: main first.
+        assert_eq!(s[0].0, "main");
+        assert_eq!(s[0].1.invocations, 2);
+        assert!((s[0].1.compute_share - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let p = Profiler::new();
+        p.record(EventKind::Kernel, "kernel_2d_139_gpu", 7.34, 0);
+        p.record(EventKind::Kernel, "sample_put_real_118_gpu", 2.62, 0);
+        p.record(EventKind::Kernel, "sample_put_real_98_gpu", 0.04, 0);
+        let r = p.render("Tesla M2090");
+        assert!(r.contains("Tesla M2090"));
+        assert!(r.contains("73.4%"));
+        assert!(r.contains("26.2%"));
+        assert!(r.contains("kernel_2d_139_gpu"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let p = Profiler::new();
+        p.record(EventKind::Kernel, "a", 1.0, 0);
+        assert!(!p.is_empty());
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.compute_time(), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_layout() {
+        let p = Profiler::new();
+        p.record(EventKind::Kernel, "a", 1.0e-3, 0);
+        p.record(EventKind::Kernel, "b", 2.0e-3, 0);
+        p.record(EventKind::MemcpyH2D, "up", 0.5e-3, 1);
+        let j = p.export_chrome_trace("K40");
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        // b starts after a on the same stream (serial layout).
+        let a_pos = j.find("\"name\":\"a\"").unwrap();
+        let b_start = j[j.find("\"name\":\"b\"").unwrap()..]
+            .split("\"ts\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
+        assert_eq!(b_start, "1000.000");
+        assert!(a_pos < j.len());
+        assert!(j.contains("\"tid\":\"stream 1\""));
+        assert!(j.contains("memcpy_h2d"));
+        // Valid bracketed comma-separated objects: 3 of them.
+        assert_eq!(j.matches("{\"name\"").count(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let p = std::sync::Arc::new(Profiler::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        p.record(EventKind::Kernel, "k", 0.001, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.len(), 400);
+        assert!((p.compute_time() - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulated-device benchmarks: how fast the performance model itself
+//! evaluates, plus the model-derived sweeps behind Tables 3/4 and
+//! Figures 8/9, 10, 11.
+//!
+//! Groups:
+//! * `rtm_cases` — full Table 4 row evaluation (forward+backward pricing),
+//! * `register_sweep` — Figure 10's occupancy/spill evaluation,
+//! * `cray_constructs` — Figure 8/9's kernels-vs-parallel lowering,
+//! * `async_streams` — Figure 11's stream-queue makespans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use accel_sim::kernel::{time_kernel, KernelProfile};
+use accel_sim::stream::{IssueMode, QueuedKernel, StreamSim};
+use accel_sim::DeviceSpec;
+use openacc_sim::{Compiler, ConstructKind, LoopNest, LoopSched, PgiVersion};
+use repro::cases::table_workload;
+use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase};
+use rtm_core::gpu_time::rtm_time;
+use seismic_model::footprint::{Dims, Formulation};
+
+fn rtm_cases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtm_cases");
+    for case in SeismicCase::all() {
+        // Keep the bench quick: scale the step counts down 20x.
+        let mut w = table_workload(&case);
+        w.steps /= 20;
+        let cfg = OptimizationConfig::default();
+        g.bench_function(case.label(), |b| {
+            b.iter(|| {
+                rtm_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_6), Cluster::CrayXc30, &w)
+                    .map(|r| r.breakdown.total_s)
+                    .ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn register_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("register_sweep");
+    for regs in [16u32, 32, 64, 128, 255] {
+        let mut k = KernelProfile::new("elastic_sdiag", 1 << 24, 210.0, 100.0, 62);
+        k.maxregcount = Some(regs);
+        let dev = DeviceSpec::k40();
+        g.bench_function(format!("maxregcount_{regs}"), |b| {
+            b.iter(|| time_kernel(&dev, &k))
+        });
+    }
+    g.finish();
+}
+
+fn cray_constructs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cray_constructs");
+    let nest_par = LoopNest::new(&[400, 400, 400]).with_sched(&[
+        LoopSched::Gang,
+        LoopSched::Worker,
+        LoopSched::Vector(128),
+    ]);
+    let nest_ker = LoopNest::new(&[400, 400, 400]);
+    for (name, nest, kind) in [
+        ("parallel_gwv", &nest_par, ConstructKind::Parallel),
+        ("kernels_auto", &nest_ker, ConstructKind::Kernels),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Compiler::Cray.map(nest, kind, &[], false))
+        });
+    }
+    g.finish();
+}
+
+fn async_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_streams");
+    let dev = DeviceSpec::k40();
+    for (name, mode) in [
+        ("sync", IssueMode::Synchronous),
+        ("async", IssueMode::AsyncStreams),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = StreamSim::new();
+                for i in 0..6u32 {
+                    q.push(QueuedKernel {
+                        name: format!("k{i}"),
+                        exec_s: 40e-6,
+                        sm_fraction: 0.8,
+                        stream: i,
+                    });
+                }
+                q.drain_makespan(&dev, mode)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Multi-GPU scaling evaluation (the paper's path-forward extension).
+fn multi_gpu(c: &mut Criterion) {
+    use rtm_core::multi_gpu::{modeling_time_multi, CommMode, GhostPacking};
+    let mut g = c.benchmark_group("multi_gpu");
+    let case = SeismicCase {
+        formulation: Formulation::Acoustic,
+        dims: Dims::Three,
+    };
+    let mut w = table_workload(&case);
+    w.steps = 100;
+    let cfg = OptimizationConfig::default();
+    for n in [1usize, 4, 8] {
+        g.bench_function(format!("k40_x{n}_overlapped"), |b| {
+            b.iter(|| {
+                modeling_time_multi(
+                    &case,
+                    &cfg,
+                    Compiler::Pgi(PgiVersion::V14_6),
+                    Cluster::CrayXc30,
+                    &w,
+                    n,
+                    GhostPacking::DevicePacked,
+                    CommMode::Overlapped,
+                )
+                .map(|t| t.total_s)
+                .ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation pricing (cache clause, pinned memory) — see `repro::ablation`.
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("cache_clause", |b| {
+        b.iter(repro::ablation::cache_clause_ablation)
+    });
+    g.bench_function("partial_transfers", |b| {
+        b.iter(repro::ablation::partial_transfer_ablation)
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = rtm_cases, register_sweep, cray_constructs, async_streams, multi_gpu, ablations
+}
+criterion_main!(benches);

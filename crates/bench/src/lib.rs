@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see `benches/` for the Criterion harnesses that
+//! accompany every table and figure of the paper (DESIGN.md maps each
+//! bench group to its experiment).

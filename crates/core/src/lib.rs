@@ -1,0 +1,50 @@
+//! # rtm-core
+//!
+//! Seismic modeling and Reverse Time Migration — the paper's contribution —
+//! on two back-ends:
+//!
+//! * **CPU-MPI** (the reference of Algorithm 1): domain decomposition over
+//!   `mpi-sim` ranks with nonblocking ghost exchange, plus the full-socket
+//!   roofline/interconnect *timing model* used as the baseline of
+//!   Tables 3/4,
+//! * **OpenACC-GPU**: the five-step port of Figure 4 — (1) enter-data
+//!   allocation, (2) forward phase with partial ghost transfers and
+//!   snapshot saves, (3) offload-forward/upload-backward swap, (4) backward
+//!   phase with imaging condition on GPU or CPU, (5) image store and
+//!   deallocation — executing the physics on host gangs while the
+//!   `openacc-sim`/`accel-sim` stack prices every launch and transfer.
+//!
+//! Modules:
+//!
+//! * [`case`] — the twelve seismic cases, clusters, optimization knobs,
+//! * [`plan`] — per-time-step kernel launch schedules (directives included)
+//!   for each case and optimization configuration,
+//! * [`gpu_time`] — production-scale GPU timing estimates (Tables 3/4),
+//! * [`cpu_time`] — full-socket MPI baseline timing estimates,
+//! * [`modeling`] — real-execution 2D forward modeling driver,
+//! * [`modeling3`] — real-execution 3D forward modeling driver,
+//! * [`rtm`] — real-execution 2D RTM driver (Algorithm 1, both phases),
+//! * [`rtm3`] — real-execution 3D RTM driver,
+//! * [`mpi_run`] — real decomposed CPU execution over `mpi-sim` ranks,
+//! * [`multi_gpu`] — the paper's "path forward": decomposed multi-GPU
+//!   pricing with ghost packing and communication/computation overlap,
+//! * [`checkpoint`] — bounded-memory RTM via store-vs-recompute
+//!   checkpointing of the source wavefield,
+//! * [`shot_parallel`] — survey-level shot distribution over ranks with
+//!   image stacking on the root.
+
+pub mod case;
+pub mod checkpoint;
+pub mod cpu_time;
+pub mod gpu_time;
+pub mod modeling;
+pub mod modeling3;
+pub mod mpi_run;
+pub mod multi_gpu;
+pub mod plan;
+pub mod rtm;
+pub mod rtm3;
+pub mod shot_parallel;
+
+pub use case::{Cluster, OptimizationConfig, SeismicCase};
+pub use gpu_time::TimingBreakdown;

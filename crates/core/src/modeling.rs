@@ -1,0 +1,434 @@
+//! Real-execution 2D seismic modeling driver.
+//!
+//! The forward phase of Algorithm 1, executed for real on host gangs:
+//! at each step it exchanges nothing (single domain), advances the
+//! wavefield with the configured kernel variant, injects the source,
+//! records the seismogram, and saves a snapshot each `snap_period` — the
+//! outputs being the movie-of-snapshots (Figure 3) and the shot record the
+//! RTM backward phase consumes.
+
+use crate::case::OptimizationConfig;
+use openacc_sim::exec::par_slabs;
+use seismic_grid::{Extent2, Field2, SyncSlice};
+use seismic_model::{AcousticModel2, ElasticModel2, IsoModel2, VtiModel2};
+use seismic_pml::{CpmlAxis, DampProfile};
+use seismic_prop::{acoustic2d, elastic2d, iso2d, vti2d};
+use seismic_source::{Acquisition2, Seismogram, Wavelet};
+
+/// A 2D medium: model + matching absorbing boundary.
+pub enum Medium2 {
+    /// Isotropic constant-density.
+    Iso {
+        /// Earth model.
+        model: IsoModel2,
+        /// Damping profile along x.
+        damp_x: DampProfile,
+        /// Damping profile along z.
+        damp_z: DampProfile,
+    },
+    /// Acoustic variable-density.
+    Acoustic {
+        /// Earth model.
+        model: AcousticModel2,
+        /// C-PML coefficients for x and z.
+        cpml: [CpmlAxis; 2],
+    },
+    /// Elastic isotropic.
+    Elastic {
+        /// Earth model.
+        model: ElasticModel2,
+        /// C-PML coefficients for x and z.
+        cpml: [CpmlAxis; 2],
+    },
+    /// Acoustic VTI (anisotropic) — the paper's future-work formulation.
+    Vti {
+        /// Earth model with Thomsen parameters.
+        model: VtiModel2,
+        /// Damping profile along x.
+        damp_x: DampProfile,
+        /// Damping profile along z.
+        damp_z: DampProfile,
+    },
+}
+
+impl Medium2 {
+    /// Grid extent.
+    pub fn extent(&self) -> Extent2 {
+        match self {
+            Medium2::Iso { model, .. } => model.vp.extent(),
+            Medium2::Acoustic { model, .. } => model.vp.extent(),
+            Medium2::Elastic { model, .. } => model.rho.extent(),
+            Medium2::Vti { model, .. } => model.vp.extent(),
+        }
+    }
+
+    /// Time step of the medium's geometry.
+    pub fn dt(&self) -> f32 {
+        match self {
+            Medium2::Iso { model, .. } => model.geom.dt,
+            Medium2::Acoustic { model, .. } => model.geom.dt,
+            Medium2::Elastic { model, .. } => model.geom.dt,
+            Medium2::Vti { model, .. } => model.geom.dt,
+        }
+    }
+}
+
+/// Wavefield state matching a [`Medium2`].
+///
+/// Variant sizes differ by their field-handle counts (the data itself is
+/// heap-allocated); boxing would only add indirection to the hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum State2 {
+    /// Isotropic two-level state.
+    Iso(iso2d::Iso2State),
+    /// Acoustic staggered state.
+    Acoustic(acoustic2d::Ac2State),
+    /// Elastic velocity–stress state.
+    Elastic(elastic2d::El2State),
+    /// VTI coupled pseudo-acoustic state.
+    Vti(vti2d::Vti2State),
+}
+
+impl State2 {
+    /// Quiescent state for a medium.
+    pub fn new(medium: &Medium2) -> Self {
+        let e = medium.extent();
+        match medium {
+            Medium2::Iso { .. } => State2::Iso(iso2d::Iso2State::new(e)),
+            Medium2::Acoustic { .. } => State2::Acoustic(acoustic2d::Ac2State::new(e)),
+            Medium2::Elastic { .. } => State2::Elastic(elastic2d::El2State::new(e)),
+            Medium2::Vti { .. } => State2::Vti(vti2d::Vti2State::new(e)),
+        }
+    }
+
+    /// The pressure-like field sampled by receivers and snapshots:
+    /// `u` (iso), `p` (acoustic), `(σxx+σzz)/2` (elastic).
+    pub fn sample(&self, ix: usize, iz: usize) -> f32 {
+        match self {
+            State2::Iso(s) => s.u_cur.get(ix, iz),
+            State2::Acoustic(s) => s.p.get(ix, iz),
+            State2::Elastic(s) => 0.5 * (s.sxx.get(ix, iz) + s.szz.get(ix, iz)),
+            State2::Vti(s) => s.p_cur.get(ix, iz),
+        }
+    }
+
+    /// Snapshot of the pressure-like field.
+    pub fn wavefield(&self) -> Field2 {
+        match self {
+            State2::Iso(s) => s.u_cur.clone(),
+            State2::Acoustic(s) => s.p.clone(),
+            State2::Elastic(s) => {
+                let e = s.sxx.extent();
+                Field2::from_fn(e, |ix, iz| 0.5 * (s.sxx.get(ix, iz) + s.szz.get(ix, iz)))
+            }
+            State2::Vti(s) => s.p_cur.clone(),
+        }
+    }
+
+    /// Pressure-like source injection at an interior point.
+    pub fn inject(&mut self, medium: &Medium2, ix: usize, iz: usize, amp: f32) {
+        match (self, medium) {
+            (State2::Iso(s), Medium2::Iso { model, .. }) => s.inject(model, ix, iz, amp),
+            (State2::Acoustic(s), Medium2::Acoustic { model, .. }) => {
+                s.inject(model, ix, iz, amp)
+            }
+            (State2::Elastic(s), Medium2::Elastic { model, .. }) => {
+                s.inject(model, ix, iz, amp * 1e6)
+            }
+            (State2::Vti(s), Medium2::Vti { model, .. }) => s.inject(model, ix, iz, amp),
+            _ => panic!("state/medium formulation mismatch"),
+        }
+    }
+
+    /// Advance one time step on `gangs` host threads.
+    pub fn step(&mut self, medium: &Medium2, config: &OptimizationConfig, gangs: usize) {
+        let e = medium.extent();
+        let nz = e.nz;
+        match (self, medium) {
+            (State2::Iso(s), Medium2::Iso { model, damp_x, damp_z }) => {
+                {
+                    let u = SyncSlice::new(s.u_prev.as_mut_slice());
+                    let cur = s.u_cur.as_slice();
+                    par_slabs(nz, gangs, |z0, z1| {
+                        iso2d::step_slab(
+                            u,
+                            cur,
+                            model.vp.as_slice(),
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            damp_x,
+                            damp_z,
+                            config.iso_pml,
+                            z0,
+                            z1,
+                        );
+                    });
+                }
+                s.u_prev.swap(&mut s.u_cur);
+            }
+            (State2::Acoustic(s), Medium2::Acoustic { model, cpml }) => {
+                {
+                    let qx = SyncSlice::new(s.qx.as_mut_slice());
+                    let qz = SyncSlice::new(s.qz.as_mut_slice());
+                    let px = SyncSlice::new(s.psi_px.as_mut_slice());
+                    let pz = SyncSlice::new(s.psi_pz.as_mut_slice());
+                    let p = s.p.as_slice();
+                    par_slabs(nz, gangs, |z0, z1| {
+                        acoustic2d::velocity_slab(
+                            qx, qz, px, pz, p,
+                            model.rho.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+                {
+                    let p = SyncSlice::new(s.p.as_mut_slice());
+                    let sx = SyncSlice::new(s.psi_qx.as_mut_slice());
+                    let sz = SyncSlice::new(s.psi_qz.as_mut_slice());
+                    let qx = s.qx.as_slice();
+                    let qz = s.qz.as_slice();
+                    par_slabs(nz, gangs, |z0, z1| {
+                        acoustic2d::pressure_slab(
+                            p, sx, sz, qx, qz,
+                            model.vp.as_slice(), model.rho.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+            }
+            (State2::Elastic(s), Medium2::Elastic { model, cpml }) => {
+                // Sequential per-kernel (4 kernels), each slab-parallel.
+                {
+                    let vx = SyncSlice::new(s.vx.as_mut_slice());
+                    let p1 = SyncSlice::new(s.psi_sxx_x.as_mut_slice());
+                    let p2 = SyncSlice::new(s.psi_sxz_z.as_mut_slice());
+                    let (sxx, sxz) = (s.sxx.as_slice(), s.sxz.as_slice());
+                    par_slabs(nz, gangs, |z0, z1| {
+                        elastic2d::vx_slab(
+                            vx, p1, p2, sxx, sxz,
+                            model.rho.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+                {
+                    let vz = SyncSlice::new(s.vz.as_mut_slice());
+                    let p1 = SyncSlice::new(s.psi_sxz_x.as_mut_slice());
+                    let p2 = SyncSlice::new(s.psi_szz_z.as_mut_slice());
+                    let (sxz, szz) = (s.sxz.as_slice(), s.szz.as_slice());
+                    par_slabs(nz, gangs, |z0, z1| {
+                        elastic2d::vz_slab(
+                            vz, p1, p2, sxz, szz,
+                            model.rho.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+                {
+                    let sxx = SyncSlice::new(s.sxx.as_mut_slice());
+                    let szz = SyncSlice::new(s.szz.as_mut_slice());
+                    let p1 = SyncSlice::new(s.psi_vx_x.as_mut_slice());
+                    let p2 = SyncSlice::new(s.psi_vz_z.as_mut_slice());
+                    let (vx, vz) = (s.vx.as_slice(), s.vz.as_slice());
+                    par_slabs(nz, gangs, |z0, z1| {
+                        elastic2d::stress_diag_slab(
+                            sxx, szz, p1, p2, vx, vz,
+                            model.lam.as_slice(), model.mu.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+                {
+                    let sxz = SyncSlice::new(s.sxz.as_mut_slice());
+                    let p1 = SyncSlice::new(s.psi_vx_z.as_mut_slice());
+                    let p2 = SyncSlice::new(s.psi_vz_x.as_mut_slice());
+                    let (vx, vz) = (s.vx.as_slice(), s.vz.as_slice());
+                    par_slabs(nz, gangs, |z0, z1| {
+                        elastic2d::stress_shear_slab(
+                            sxz, p1, p2, vx, vz,
+                            model.mu.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            cpml, z0, z1,
+                        );
+                    });
+                }
+            }
+            (State2::Vti(s), Medium2::Vti { model, damp_x, damp_z }) => {
+                {
+                    let p = SyncSlice::new(s.p_prev.as_mut_slice());
+                    let q = SyncSlice::new(s.q_prev.as_mut_slice());
+                    let (pc, qc) = (s.p_cur.as_slice(), s.q_cur.as_slice());
+                    par_slabs(nz, gangs, |z0, z1| {
+                        vti2d::step_slab(
+                            p, q, pc, qc,
+                            model.vp.as_slice(),
+                            model.epsilon.as_slice(),
+                            model.delta.as_slice(),
+                            e, model.geom.dx, model.geom.dz, model.geom.dt,
+                            damp_x, damp_z, z0, z1,
+                        );
+                    });
+                }
+                s.p_prev.swap(&mut s.p_cur);
+                s.q_prev.swap(&mut s.q_cur);
+            }
+            _ => panic!("state/medium formulation mismatch"),
+        }
+    }
+}
+
+/// Output of a modeling run.
+pub struct ModelingResult {
+    /// Snapshots saved every `snap_period` steps.
+    pub snapshots: Vec<Field2>,
+    /// The recorded shot record.
+    pub seismogram: Seismogram,
+}
+
+/// Run forward modeling: `steps` time steps with source injection, receiver
+/// recording, and snapshot saves.
+pub fn run_modeling(
+    medium: &Medium2,
+    acq: &Acquisition2,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    gangs: usize,
+) -> ModelingResult {
+    let mut state = State2::new(medium);
+    let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
+    let mut snapshots = Vec::new();
+    let dt = medium.dt();
+    for t in 0..steps {
+        state.step(medium, config, gangs);
+        state.inject(medium, acq.src_ix, acq.src_iz, wavelet.sample(t as f32 * dt));
+        for (r, rcv) in acq.receivers.iter().enumerate() {
+            seismogram.record(r, t, state.sample(rcv.ix, rcv.iz));
+        }
+        if t % snap_period == 0 {
+            snapshots.push(state.wavefield());
+        }
+    }
+    ModelingResult {
+        snapshots,
+        seismogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_grid::cfl::stable_dt;
+    use seismic_model::builder::{acoustic2_layered, iso2_constant, standard_layers};
+    use seismic_model::{extent2, Geometry};
+
+    fn acoustic_medium(n: usize) -> Medium2 {
+        let e = extent2(n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 2, 3200.0, h, 0.6);
+        let model = acoustic2_layered(e, &standard_layers(n), Geometry::uniform(h, dt));
+        let c = CpmlAxis::new(n, e.halo, 12, dt, 3200.0, h, 1e-4);
+        Medium2::Acoustic {
+            model,
+            cpml: [c.clone(), c],
+        }
+    }
+
+    fn iso_medium(n: usize) -> Medium2 {
+        let e = extent2(n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 2, 2000.0, h, 0.8);
+        let model = iso2_constant(e, 2000.0, Geometry::uniform(h, dt));
+        let d = DampProfile::new(n, e.halo, 12, 2000.0, h, 1e-4);
+        Medium2::Iso {
+            model,
+            damp_x: d.clone(),
+            damp_z: d,
+        }
+    }
+
+    #[test]
+    fn acoustic_modeling_produces_snapshots_and_records() {
+        let n = 72;
+        let medium = acoustic_medium(n);
+        let acq = Acquisition2::surface_line(n, n / 2, 4, 2, 4);
+        let r = run_modeling(
+            &medium,
+            &acq,
+            &Wavelet::ricker(20.0),
+            &OptimizationConfig::default(),
+            120,
+            10,
+            3,
+        );
+        assert_eq!(r.snapshots.len(), 12);
+        assert_eq!(r.seismogram.nt(), 120);
+        assert!(r.seismogram.rms() > 0.0, "receivers recorded energy");
+        // Later snapshots carry the expanding wavefront.
+        assert!(r.snapshots.last().unwrap().max_abs() > 0.0);
+    }
+
+    /// Gang count must not change results (the OpenACC gang ↔ host thread
+    /// mapping is bitwise-deterministic).
+    #[test]
+    fn gang_count_invariance() {
+        let n = 48;
+        for mk in [iso_medium as fn(usize) -> Medium2, acoustic_medium] {
+            let medium = mk(n);
+            let acq = Acquisition2::surface_line(n, n / 2, n / 2, 2, 8);
+            let cfg = OptimizationConfig::default();
+            let w = Wavelet::ricker(22.0);
+            let a = run_modeling(&medium, &acq, &w, &cfg, 40, 8, 1);
+            let b = run_modeling(&medium, &acq, &w, &cfg, 40, 8, 5);
+            assert_eq!(a.seismogram, b.seismogram);
+            assert_eq!(a.snapshots.last(), b.snapshots.last());
+        }
+    }
+
+    /// Nearest receivers record the direct arrival earliest.
+    #[test]
+    fn direct_arrival_order() {
+        let n = 96;
+        let medium = iso_medium(n);
+        // Receivers along the surface, source at center-depth below.
+        let acq = Acquisition2::surface_line(n, n / 2, n / 2, 4, 8);
+        let r = run_modeling(
+            &medium,
+            &acq,
+            &Wavelet::ricker(25.0),
+            &OptimizationConfig::default(),
+            200,
+            50,
+            4,
+        );
+        // Receiver closest to source x records the biggest peak earliest.
+        let n_rcv = acq.n_receivers();
+        let center = (0..n_rcv)
+            .min_by_key(|&r_| (acq.receivers[r_].ix as isize - (n / 2) as isize).unsigned_abs())
+            .unwrap();
+        let edge = 0usize;
+        assert!(
+            r.seismogram.peak_time(center) < r.seismogram.peak_time(edge),
+            "center {} vs edge {}",
+            r.seismogram.peak_time(center),
+            r.seismogram.peak_time(edge)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "formulation mismatch")]
+    fn mismatched_state_and_medium_panics() {
+        let iso = iso_medium(32);
+        let ac = acoustic_medium(32);
+        let mut s = State2::new(&iso);
+        s.step(&ac, &OptimizationConfig::default(), 1);
+    }
+}

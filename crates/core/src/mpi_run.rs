@@ -1,0 +1,437 @@
+//! Real decomposed CPU execution over `mpi-sim` ranks.
+//!
+//! The reference implementation of Algorithm 1: the domain is slab-split
+//! along z across ranks, each step exchanges ghost rows with nonblocking
+//! sends/receives, and the rank owning the source row injects. This is the
+//! executable counterpart of the Table 3/4 CPU baseline timing model, and
+//! its output is verified bit-for-bit against the sequential propagator.
+
+use bytes::Bytes;
+use mpi_sim::comm::Communicator;
+use mpi_sim::decomp::SlabDecomp;
+use mpi_sim::halo::exchange_halo2;
+use seismic_grid::{Extent2, Field2, SyncSlice, STENCIL_HALF};
+use seismic_model::IsoModel2;
+use seismic_pml::DampProfile;
+use seismic_prop::{iso2d, IsoPmlVariant};
+use seismic_source::Wavelet;
+
+/// Run isotropic 2D modeling decomposed over `ranks` ranks; returns the
+/// final wavefield assembled on rank 0 (global extent).
+#[allow(clippy::too_many_arguments)]
+pub fn modeling_iso2_mpi(
+    model: &IsoModel2,
+    damp_x: &DampProfile,
+    damp_z: &DampProfile,
+    src: (usize, usize),
+    wavelet: &Wavelet,
+    steps: usize,
+    ranks: usize,
+) -> Field2 {
+    let ge = model.vp.extent();
+    let decomp = SlabDecomp::new(ge.nz, ranks, STENCIL_HALF);
+    let dt = model.geom.dt;
+
+    let mut results = Communicator::run(ranks, |ctx| {
+        let slab = decomp.slab(ctx.rank());
+        let le = Extent2::new(ge.nx, slab.nz(), STENCIL_HALF);
+        // Rank-local views of the model and damping.
+        let vp_local = Field2::from_fn(le, |ix, iz| model.vp.get(ix, iz + slab.z0));
+        let damp_z_local = damp_z.window(slab.z0, slab.nz());
+        let mut u_prev = Field2::zeros(le);
+        let mut u_cur = Field2::zeros(le);
+        let src_local = (src.1 >= slab.z0 && src.1 < slab.z1).then(|| (src.0, src.1 - slab.z0));
+
+        for t in 0..steps {
+            // exchange_boundaries: both time levels feed the update (u_cur
+            // through the stencil, u_prev pointwise — only u_cur's halo is
+            // read, so one exchange per step suffices).
+            exchange_halo2(ctx, &mut u_cur, &slab, 100);
+            {
+                let u = SyncSlice::new(u_prev.as_mut_slice());
+                iso2d::step_slab(
+                    u,
+                    u_cur.as_slice(),
+                    vp_local.as_slice(),
+                    le,
+                    model.geom.dx,
+                    model.geom.dz,
+                    dt,
+                    damp_x,
+                    &damp_z_local,
+                    IsoPmlVariant::OriginalIfs,
+                    0,
+                    slab.nz(),
+                );
+            }
+            u_prev.swap(&mut u_cur);
+            // source_injection by the owning rank.
+            if let Some((ix, iz)) = src_local {
+                let vp = vp_local.get(ix, iz);
+                let amp = wavelet.sample(t as f32 * dt);
+                let v = u_cur.get(ix, iz) + dt * dt * vp * vp * amp;
+                u_cur.set(ix, iz, v);
+            }
+        }
+
+        // Gather interior rows to rank 0.
+        if ctx.rank() == 0 {
+            let mut global = Field2::zeros(ge);
+            // Own rows.
+            for iz in 0..slab.nz() {
+                for ix in 0..ge.nx {
+                    global.set(ix, iz, u_cur.get(ix, iz));
+                }
+            }
+            for r in 1..ctx.size() {
+                let b = ctx.recv(r, 999);
+                let rs = decomp.slab(r);
+                let vals: Vec<f32> = b
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                assert_eq!(vals.len(), rs.nz() * ge.nx, "gather payload");
+                for (i, v) in vals.into_iter().enumerate() {
+                    let iz = rs.z0 + i / ge.nx;
+                    let ix = i % ge.nx;
+                    global.set(ix, iz, v);
+                }
+            }
+            Some(global)
+        } else {
+            let mut payload = Vec::with_capacity(slab.nz() * ge.nx * 4);
+            for iz in 0..slab.nz() {
+                for ix in 0..ge.nx {
+                    payload.extend_from_slice(&u_cur.get(ix, iz).to_le_bytes());
+                }
+            }
+            ctx.isend(0, 999, Bytes::from(payload));
+            None
+        }
+    });
+    results
+        .remove(0)
+        .expect("rank 0 returns the assembled field")
+}
+
+/// Run isotropic 3D modeling decomposed over `ranks` ranks; returns the
+/// final wavefield assembled on rank 0.
+#[allow(clippy::too_many_arguments)]
+pub fn modeling_iso3_mpi(
+    model: &seismic_model::IsoModel3,
+    damp: &[DampProfile; 3],
+    src: (usize, usize, usize),
+    wavelet: &Wavelet,
+    steps: usize,
+    ranks: usize,
+) -> seismic_grid::Field3 {
+    use mpi_sim::halo::exchange_halo3;
+    use seismic_grid::{Extent3, Field3};
+    use seismic_prop::iso3d;
+
+    let ge = model.vp.extent();
+    let decomp = SlabDecomp::new(ge.nz, ranks, STENCIL_HALF);
+    let dt = model.geom.dt;
+
+    let mut results = Communicator::run(ranks, |ctx| {
+        let slab = decomp.slab(ctx.rank());
+        let le = Extent3::new(ge.nx, ge.ny, slab.nz(), STENCIL_HALF);
+        let vp_local = Field3::from_fn(le, |ix, iy, iz| model.vp.get(ix, iy, iz + slab.z0));
+        let damp_local = [
+            damp[0].clone(),
+            damp[1].clone(),
+            damp[2].window(slab.z0, slab.nz()),
+        ];
+        let mut u_prev = Field3::zeros(le);
+        let mut u_cur = Field3::zeros(le);
+        let src_local =
+            (src.2 >= slab.z0 && src.2 < slab.z1).then(|| (src.0, src.1, src.2 - slab.z0));
+
+        for t in 0..steps {
+            exchange_halo3(ctx, &mut u_cur, &slab, 300);
+            {
+                let u = SyncSlice::new(u_prev.as_mut_slice());
+                iso3d::step_slab(
+                    u,
+                    u_cur.as_slice(),
+                    vp_local.as_slice(),
+                    le,
+                    [model.geom.dx, model.geom.dy, model.geom.dz],
+                    dt,
+                    &damp_local,
+                    seismic_prop::IsoPmlVariant::OriginalIfs,
+                    0,
+                    slab.nz(),
+                );
+            }
+            u_prev.swap(&mut u_cur);
+            if let Some((ix, iy, iz)) = src_local {
+                let vp = vp_local.get(ix, iy, iz);
+                let amp = wavelet.sample(t as f32 * dt);
+                let v = u_cur.get(ix, iy, iz) + dt * dt * vp * vp * amp;
+                u_cur.set(ix, iy, iz, v);
+            }
+        }
+
+        if ctx.rank() == 0 {
+            let mut global = Field3::zeros(ge);
+            for iz in 0..slab.nz() {
+                for iy in 0..ge.ny {
+                    for ix in 0..ge.nx {
+                        global.set(ix, iy, iz, u_cur.get(ix, iy, iz));
+                    }
+                }
+            }
+            for r in 1..ctx.size() {
+                let b = ctx.recv(r, 998);
+                let rs = decomp.slab(r);
+                let vals: Vec<f32> = b
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                assert_eq!(vals.len(), rs.nz() * ge.ny * ge.nx, "gather payload");
+                for (i, v) in vals.into_iter().enumerate() {
+                    let iz = rs.z0 + i / (ge.nx * ge.ny);
+                    let iy = (i / ge.nx) % ge.ny;
+                    let ix = i % ge.nx;
+                    global.set(ix, iy, iz, v);
+                }
+            }
+            Some(global)
+        } else {
+            let mut payload = Vec::with_capacity(slab.nz() * ge.ny * ge.nx * 4);
+            for iz in 0..slab.nz() {
+                for iy in 0..ge.ny {
+                    for ix in 0..ge.nx {
+                        payload.extend_from_slice(&u_cur.get(ix, iy, iz).to_le_bytes());
+                    }
+                }
+            }
+            ctx.isend(0, 998, Bytes::from(payload));
+            None
+        }
+    });
+    results
+        .remove(0)
+        .expect("rank 0 returns the assembled field")
+}
+
+/// Run acoustic (staggered, variable-density) 2D modeling decomposed over
+/// `ranks` ranks; returns the final pressure field assembled on rank 0.
+///
+/// The staggered system needs *two* exchanges per step — the pressure halo
+/// before the velocity kernel and the velocity halos before the pressure
+/// kernel — exactly the multi-field `exchange_boundaries` of Algorithm 1.
+#[allow(clippy::too_many_arguments)]
+pub fn modeling_ac2_mpi(
+    model: &seismic_model::AcousticModel2,
+    cpml: &[seismic_pml::CpmlAxis; 2],
+    src: (usize, usize),
+    wavelet: &Wavelet,
+    steps: usize,
+    ranks: usize,
+) -> Field2 {
+    use seismic_prop::acoustic2d;
+
+    let ge = model.vp.extent();
+    let decomp = SlabDecomp::new(ge.nz, ranks, STENCIL_HALF);
+    let dt = model.geom.dt;
+
+    let mut results = Communicator::run(ranks, |ctx| {
+        let slab = decomp.slab(ctx.rank());
+        let le = Extent2::new(ge.nx, slab.nz(), STENCIL_HALF);
+        let vp_local = Field2::from_fn(le, |ix, iz| model.vp.get(ix, iz + slab.z0));
+        let rho_local = Field2::from_fn(le, |ix, iz| model.rho.get(ix, iz + slab.z0));
+        // C-PML coefficients are 1-D per axis; the z axis needs the
+        // rank-local window (x is replicated).
+        let cpml_local = [cpml[0].clone(), cpml[1].window(slab.z0, slab.nz())];
+        let mut st = acoustic2d::Ac2State::new(le);
+        let src_local = (src.1 >= slab.z0 && src.1 < slab.z1).then(|| (src.0, src.1 - slab.z0));
+
+        for t in 0..steps {
+            // Velocity kernel reads p's halo.
+            exchange_halo2(ctx, &mut st.p, &slab, 200);
+            {
+                let qx = SyncSlice::new(st.qx.as_mut_slice());
+                let qz = SyncSlice::new(st.qz.as_mut_slice());
+                let px = SyncSlice::new(st.psi_px.as_mut_slice());
+                let pz = SyncSlice::new(st.psi_pz.as_mut_slice());
+                acoustic2d::velocity_slab(
+                    qx, qz, px, pz,
+                    st.p.as_slice(),
+                    rho_local.as_slice(),
+                    le, model.geom.dx, model.geom.dz, dt,
+                    &cpml_local, 0, slab.nz(),
+                );
+            }
+            // Pressure kernel reads qx/qz halos.
+            exchange_halo2(ctx, &mut st.qx, &slab, 210);
+            exchange_halo2(ctx, &mut st.qz, &slab, 220);
+            {
+                let p = SyncSlice::new(st.p.as_mut_slice());
+                let sx = SyncSlice::new(st.psi_qx.as_mut_slice());
+                let sz = SyncSlice::new(st.psi_qz.as_mut_slice());
+                acoustic2d::pressure_slab(
+                    p, sx, sz,
+                    st.qx.as_slice(), st.qz.as_slice(),
+                    vp_local.as_slice(), rho_local.as_slice(),
+                    le, model.geom.dx, model.geom.dz, dt,
+                    &cpml_local, 0, slab.nz(),
+                );
+            }
+            if let Some((ix, iz)) = src_local {
+                let vp = vp_local.get(ix, iz);
+                let rho = rho_local.get(ix, iz);
+                let amp = wavelet.sample(t as f32 * dt);
+                let v = st.p.get(ix, iz) + dt * rho * vp * vp * amp;
+                st.p.set(ix, iz, v);
+            }
+        }
+
+        if ctx.rank() == 0 {
+            let mut global = Field2::zeros(ge);
+            for iz in 0..slab.nz() {
+                for ix in 0..ge.nx {
+                    global.set(ix, iz, st.p.get(ix, iz));
+                }
+            }
+            for r in 1..ctx.size() {
+                let b = ctx.recv(r, 997);
+                let rs = decomp.slab(r);
+                for (i, chunk) in b.chunks_exact(4).enumerate() {
+                    let v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                    global.set(i % ge.nx, rs.z0 + i / ge.nx, v);
+                }
+            }
+            Some(global)
+        } else {
+            let mut payload = Vec::with_capacity(slab.nz() * ge.nx * 4);
+            for iz in 0..slab.nz() {
+                for ix in 0..ge.nx {
+                    payload.extend_from_slice(&st.p.get(ix, iz).to_le_bytes());
+                }
+            }
+            ctx.isend(0, 997, Bytes::from(payload));
+            None
+        }
+    });
+    results
+        .remove(0)
+        .expect("rank 0 returns the assembled field")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_grid::cfl::stable_dt;
+    use seismic_model::builder::iso2_layered;
+    use seismic_model::builder::standard_layers;
+    use seismic_model::{extent2, Geometry};
+    use seismic_prop::iso2d::Iso2State;
+
+    fn setup(n: usize) -> (IsoModel2, DampProfile, DampProfile) {
+        let e = extent2(n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 2, 3200.0, h, 0.7);
+        let m = iso2_layered(e, &standard_layers(n), Geometry::uniform(h, dt));
+        let d = DampProfile::new(n, e.halo, 12, 3200.0, h, 1e-4);
+        (m, d.clone(), d)
+    }
+
+    /// The decomposed run must reproduce the sequential propagator exactly
+    /// — Algorithm 1's ghost exchange is lossless.
+    #[test]
+    fn mpi_matches_sequential_bitwise() {
+        let n = 60;
+        let (m, dx, dz) = setup(n);
+        let w = Wavelet::ricker(20.0);
+        let steps = 60;
+        // Sequential reference.
+        let mut seq = Iso2State::new(m.vp.extent());
+        for t in 0..steps {
+            seq.step(&m, &dx, &dz, IsoPmlVariant::OriginalIfs);
+            seq.inject(&m, n / 2, 10, w.sample(t as f32 * m.geom.dt));
+        }
+        for ranks in [1usize, 2, 3, 4] {
+            let got = modeling_iso2_mpi(&m, &dx, &dz, (n / 2, 10), &w, steps, ranks);
+            for iz in 0..n {
+                for ix in 0..n {
+                    assert_eq!(
+                        got.get(ix, iz),
+                        seq.u_cur.get(ix, iz),
+                        "ranks={ranks} at ({ix},{iz})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The 3D decomposition is lossless too.
+    #[test]
+    fn mpi3_matches_sequential_bitwise() {
+        use seismic_model::builder::iso3_layered;
+        use seismic_prop::iso3d::Iso3State;
+        let n = 26;
+        let e = seismic_model::extent3(n, n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 3, 3200.0, h, 0.7);
+        let m = iso3_layered(e, &standard_layers(n), Geometry::uniform(h, dt));
+        let d = DampProfile::new(n, e.halo, 6, 3200.0, h, 1e-4);
+        let damp = [d.clone(), d.clone(), d];
+        let w = Wavelet::ricker(25.0);
+        let steps = 25;
+        let mut seq = Iso3State::new(e);
+        for t in 0..steps {
+            seq.step(&m, &damp, seismic_prop::IsoPmlVariant::OriginalIfs);
+            seq.inject(&m, n / 2, n / 2, 6, w.sample(t as f32 * dt));
+        }
+        for ranks in [1usize, 3] {
+            let got = modeling_iso3_mpi(&m, &damp, (n / 2, n / 2, 6), &w, steps, ranks);
+            assert_eq!(got, seq.u_cur, "ranks={ranks}");
+        }
+    }
+
+    /// The staggered multi-field exchange is lossless too.
+    #[test]
+    fn acoustic_mpi_matches_sequential_bitwise() {
+        use seismic_model::builder::acoustic2_layered;
+        use seismic_prop::acoustic2d::Ac2State;
+        let n = 54;
+        let e = seismic_model::extent2(n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 2, 3200.0, h, 0.55);
+        let m = acoustic2_layered(e, &standard_layers(n), Geometry::uniform(h, dt));
+        let c = seismic_pml::CpmlAxis::new(n, e.halo, 10, dt, 3200.0, h, 1e-4);
+        let cpml = [c.clone(), c];
+        let w = Wavelet::ricker(20.0);
+        let steps = 50;
+        let mut seq = Ac2State::new(e);
+        for t in 0..steps {
+            seq.step(&m, &cpml);
+            let vp = m.vp.get(n / 2, 8);
+            let rho = m.rho.get(n / 2, 8);
+            let v = seq.p.get(n / 2, 8) + dt * rho * vp * vp * w.sample(t as f32 * dt);
+            seq.p.set(n / 2, 8, v);
+        }
+        for ranks in [1usize, 3] {
+            let got = modeling_ac2_mpi(&m, &cpml, (n / 2, 8), &w, steps, ranks);
+            assert_eq!(got, seq.p, "ranks = {ranks}");
+        }
+    }
+
+    /// Source ownership: works when the source row sits in the last slab.
+    #[test]
+    fn source_in_last_slab() {
+        let n = 48;
+        let (m, dx, dz) = setup(n);
+        let w = Wavelet::ricker(25.0);
+        let got = modeling_iso2_mpi(&m, &dx, &dz, (n / 2, n - 5), &w, 30, 3);
+        assert!(got.max_abs() > 0.0);
+        let mut seq = Iso2State::new(m.vp.extent());
+        for t in 0..30 {
+            seq.step(&m, &dx, &dz, IsoPmlVariant::OriginalIfs);
+            seq.inject(&m, n / 2, n - 5, w.sample(t as f32 * m.geom.dt));
+        }
+        assert_eq!(got, seq.u_cur.clone());
+    }
+}

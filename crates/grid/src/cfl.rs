@@ -1,0 +1,77 @@
+//! Courant–Friedrichs–Lewy stability helpers.
+//!
+//! Leapfrog time stepping of the wave equation is conditionally stable: the
+//! time step must satisfy `dt ≤ C·h_min / v_max` where `C` depends on the
+//! spatial order and dimensionality. The drivers in `rtm-core` pick `dt` via
+//! [`stable_dt`]; the stability tests in `seismic-prop` deliberately violate
+//! the bound and assert blow-up.
+
+use crate::fd::centered_second;
+
+/// Courant number for the centered second-order-in-time scheme with a
+/// centered spatial stencil of the given order, in `dims` dimensions.
+///
+/// Derived from von Neumann analysis: the worst-mode amplification stays
+/// bounded iff `v·dt·sqrt(Σ_axis 4/h² · S)` ≤ 2 where `S = Σ|cₖ| / 2`-ish;
+/// in the standard form the limit is `dt ≤ 2 / (v·sqrt(dims·Σ|cₖ|)/h)`.
+pub fn courant_limit(order: usize, dims: usize) -> f64 {
+    let c = centered_second(order);
+    let abs_sum: f64 = c[0].abs() + 2.0 * c[1..].iter().map(|x| x.abs()).sum::<f64>();
+    2.0 / (dims as f64 * abs_sum).sqrt()
+}
+
+/// Largest stable `dt` for max velocity `v_max` and smallest spacing `h_min`,
+/// with a safety factor (default callers use 0.9).
+pub fn stable_dt(order: usize, dims: usize, v_max: f32, h_min: f32, safety: f32) -> f32 {
+    assert!(v_max > 0.0 && h_min > 0.0 && safety > 0.0 && safety <= 1.0);
+    (courant_limit(order, dims) as f32) * safety * h_min / v_max
+}
+
+/// Number of grid points per minimum wavelength for dispersion control.
+///
+/// `v_min / (f_max · h)`: 8th-order schemes typically need ≥ 3–4 points;
+/// lower-order schemes need more. Used to pick the peak source frequency.
+pub fn points_per_wavelength(v_min: f32, f_max: f32, h: f32) -> f32 {
+    v_min / (f_max * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn courant_shrinks_with_dims() {
+        let c1 = courant_limit(8, 1);
+        let c2 = courant_limit(8, 2);
+        let c3 = courant_limit(8, 3);
+        assert!(c1 > c2 && c2 > c3);
+        // 2nd order 1D classic limit is exactly 1.
+        assert!((courant_limit(2, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_order_is_more_restrictive() {
+        assert!(courant_limit(8, 3) < courant_limit(2, 3));
+    }
+
+    #[test]
+    fn stable_dt_scales_linearly() {
+        let a = stable_dt(8, 2, 2000.0, 10.0, 0.9);
+        let b = stable_dt(8, 2, 2000.0, 20.0, 0.9);
+        assert!((b / a - 2.0).abs() < 1e-5);
+        let c = stable_dt(8, 2, 4000.0, 10.0, 0.9);
+        assert!((a / c - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stable_dt_rejects_zero_velocity() {
+        stable_dt(8, 2, 0.0, 10.0, 0.9);
+    }
+
+    #[test]
+    fn ppw_reasonable() {
+        // 1500 m/s water, 25 Hz, 10 m spacing → 6 points per wavelength.
+        assert!((points_per_wavelength(1500.0, 25.0, 10.0) - 6.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Finite-difference coefficient tables.
+//!
+//! Taylor-series coefficients for the centered and staggered operators used by
+//! the three propagators. The paper's operators are 8th-order ("stencil width
+//! of 8"); lower orders are kept for the convergence-order tests, which verify
+//! that each table really achieves its nominal accuracy.
+
+/// Centered second-derivative coefficients (c\[0\] is the center weight).
+///
+/// d²u/dx² ≈ (1/h²) · ( c₀·u\[i\] + Σₖ cₖ·(u\[i+k\] + u\[i−k\]) )
+pub fn centered_second(order: usize) -> &'static [f64] {
+    match order {
+        2 => &[-2.0, 1.0],
+        4 => &[-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0],
+        6 => &[-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0],
+        8 => &[
+            -205.0 / 72.0,
+            8.0 / 5.0,
+            -1.0 / 5.0,
+            8.0 / 315.0,
+            -1.0 / 560.0,
+        ],
+        _ => panic!("unsupported centered second-derivative order {order}"),
+    }
+}
+
+/// Centered first-derivative coefficients (antisymmetric; c\[0\] pairs with k=1).
+///
+/// du/dx ≈ (1/h) · Σₖ cₖ·(u\[i+k\] − u\[i−k\])
+pub fn centered_first(order: usize) -> &'static [f64] {
+    match order {
+        2 => &[1.0 / 2.0],
+        4 => &[2.0 / 3.0, -1.0 / 12.0],
+        6 => &[3.0 / 4.0, -3.0 / 20.0, 1.0 / 60.0],
+        8 => &[4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0],
+        _ => panic!("unsupported centered first-derivative order {order}"),
+    }
+}
+
+/// Staggered first-derivative coefficients on a half-offset grid.
+///
+/// du/dx|_{i+1/2} ≈ (1/h) · Σₖ cₖ·(u\[i+1+k\] − u\[i−k\])
+///
+/// These are the operators for the acoustic and elastic staggered-grid
+/// first-order systems; the paper notes the staggered approach "has the
+/// advantage of accuracy with less computational effort because it allows a
+/// larger grid size".
+pub fn staggered_first(order: usize) -> &'static [f64] {
+    match order {
+        2 => &[1.0],
+        4 => &[9.0 / 8.0, -1.0 / 24.0],
+        6 => &[75.0 / 64.0, -25.0 / 384.0, 3.0 / 640.0],
+        8 => &[
+            1225.0 / 1024.0,
+            -245.0 / 3072.0,
+            49.0 / 5120.0,
+            -5.0 / 7168.0,
+        ],
+        _ => panic!("unsupported staggered first-derivative order {order}"),
+    }
+}
+
+/// The default 8th-order tables as `f32`, pre-cast for the hot kernels.
+// The written digits intentionally mirror the exact rational values; the
+// nearest-f32 roundings are checked against the f64 tables by test.
+#[allow(clippy::excessive_precision)]
+pub mod f32c {
+    /// 8th-order centered second derivative, including the center weight.
+    pub const C2: [f32; 5] = [
+        -2.847_222_3,   // -205/72
+        1.6,            // 8/5
+        -0.2,           // -1/5
+        0.025_396_826,  // 8/315
+        -0.001_785_714, // -1/560
+    ];
+
+    /// 8th-order staggered first derivative.
+    pub const S1: [f32; 4] = [
+        1.196_289_1,     // 1225/1024
+        -0.079_752_605,  // -245/3072
+        0.009_570_313,   // 49/5120
+        -0.000_697_544_7, // -5/7168
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Any consistent derivative stencil must annihilate constants and, for
+    /// first derivatives, reproduce linear slopes exactly.
+    #[test]
+    fn centered_second_weights_sum_to_zero() {
+        for order in [2, 4, 6, 8] {
+            let c = centered_second(order);
+            let total: f64 = c[0] + 2.0 * c[1..].iter().sum::<f64>();
+            assert!(total.abs() < 1e-12, "order {order}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn centered_first_reproduces_unit_slope() {
+        for order in [2, 4, 6, 8] {
+            let c = centered_first(order);
+            // Σ cₖ·((i+k)−(i−k)) = Σ cₖ·2k must equal 1.
+            let slope: f64 = c
+                .iter()
+                .enumerate()
+                .map(|(j, &ck)| ck * 2.0 * (j + 1) as f64)
+                .sum();
+            assert!((slope - 1.0).abs() < 1e-12, "order {order}: slope {slope}");
+        }
+    }
+
+    #[test]
+    fn staggered_first_reproduces_unit_slope() {
+        for order in [2, 4, 6, 8] {
+            let c = staggered_first(order);
+            // Offsets are (k+1/2) on each side: Σ cₖ·(2k+1) must equal 1.
+            let slope: f64 = c
+                .iter()
+                .enumerate()
+                .map(|(j, &ck)| ck * (2 * j + 1) as f64)
+                .sum();
+            assert!((slope - 1.0).abs() < 1e-12, "order {order}: slope {slope}");
+        }
+    }
+
+    #[test]
+    fn f32_tables_match_f64_tables() {
+        let c2 = centered_second(8);
+        for (a, b) in f32c::C2.iter().zip(c2.iter()) {
+            assert!((*a as f64 - b).abs() < 1e-6);
+        }
+        let s1 = staggered_first(8);
+        for (a, b) in f32c::S1.iter().zip(s1.iter()) {
+            assert!((*a as f64 - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn odd_order_rejected() {
+        centered_second(3);
+    }
+
+    /// Empirical convergence check: the 8th-order second derivative of sin(x)
+    /// must converge ~O(h⁸) (measured as a large reduction when h halves).
+    #[test]
+    fn second_derivative_convergence_order() {
+        fn err(order: usize, h: f64) -> f64 {
+            let c = centered_second(order);
+            let x0 = 0.7f64;
+            let mut acc = c[0] * x0.sin();
+            for (j, &ck) in c.iter().enumerate().skip(1) {
+                let k = j as f64;
+                acc += ck * ((x0 + k * h).sin() + (x0 - k * h).sin());
+            }
+            let approx = acc / (h * h);
+            (approx - (-x0.sin())).abs()
+        }
+        // Larger steps for the high orders keep truncation error above the
+        // f64 rounding floor, which would otherwise mask the convergence rate.
+        for order in [2usize, 4, 6, 8] {
+            let h = 0.4;
+            let e1 = err(order, h);
+            let e2 = err(order, h / 2.0);
+            let rate = (e1 / e2).log2();
+            assert!(
+                rate > order as f64 - 0.7,
+                "order {order}: measured rate {rate}"
+            );
+        }
+    }
+
+    /// Staggered first derivative convergence on sin(x), evaluated mid-cell.
+    #[test]
+    fn staggered_derivative_convergence_order() {
+        fn err(order: usize, h: f64) -> f64 {
+            let c = staggered_first(order);
+            let x0 = 0.3f64; // derivative evaluated here, samples at ±(k+1/2)h
+            let mut acc = 0.0;
+            for (j, &ck) in c.iter().enumerate() {
+                let off = (j as f64 + 0.5) * h;
+                acc += ck * ((x0 + off).sin() - (x0 - off).sin());
+            }
+            let approx = acc / h;
+            (approx - x0.cos()).abs()
+        }
+        for order in [2usize, 4, 6, 8] {
+            let e1 = err(order, 0.1);
+            let e2 = err(order, 0.05);
+            let rate = (e1 / e2).log2();
+            assert!(
+                rate > order as f64 - 0.5,
+                "order {order}: measured rate {rate}"
+            );
+        }
+    }
+}

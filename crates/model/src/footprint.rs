@@ -1,0 +1,162 @@
+//! Device-memory footprint estimation for the twelve seismic cases.
+//!
+//! The paper (Section 5.1, step 1) found that "the forward and backward
+//! wave-field variables of RTM cannot be allocated at the same time on GPU"
+//! and that the 3D elastic model does not fit the 6 GB Fermi card at all (the
+//! `X` cells of Tables 3 and 4). This module predicts the bytes each case
+//! needs on the accelerator so the drivers and the `accel-sim` capacity model
+//! can reproduce those allocation decisions.
+
+use serde::{Deserialize, Serialize};
+
+/// Earth-model formulation (paper Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formulation {
+    /// Constant-density isotropic acoustic (2nd-order wave equation).
+    Isotropic,
+    /// Variable-density acoustic (1st-order staggered system).
+    Acoustic,
+    /// Isotropic elastic velocity–stress (1st-order staggered system).
+    Elastic,
+}
+
+impl Formulation {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Formulation::Isotropic => "ISOTROPIC",
+            Formulation::Acoustic => "ACOUSTIC",
+            Formulation::Elastic => "ELASTIC",
+        }
+    }
+}
+
+/// Spatial dimensionality of a seismic case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dims {
+    /// Two-dimensional (x, z).
+    Two,
+    /// Three-dimensional (x, y, z).
+    Three,
+}
+
+impl Dims {
+    /// 2 or 3.
+    pub fn count(&self) -> usize {
+        match self {
+            Dims::Two => 2,
+            Dims::Three => 3,
+        }
+    }
+}
+
+/// Number of full-grid `f32` arrays a *modeling* (forward-only) run keeps
+/// resident on the device, per formulation and dimensionality.
+///
+/// Counts: wavefield time levels + model parameter grids + C-PML memory
+/// (ψ) variables. The 1-D C-PML coefficient arrays are negligible and
+/// ignored, exactly as the paper stores them ("four different
+/// one-dimensional arrays with the cpml-coefficients for each dimension").
+pub fn modeling_array_count(f: Formulation, d: Dims) -> usize {
+    match (f, d) {
+        // u_prev/u_cur + vp (damping profile is 1-D).
+        (Formulation::Isotropic, Dims::Two) => 3,
+        (Formulation::Isotropic, Dims::Three) => 3,
+        // p,qx,qz + vp,rho + ψ for ∂x p, ∂z p, ∂x qx, ∂z qz.
+        (Formulation::Acoustic, Dims::Two) => 9,
+        // p,qx,qy,qz + vp,rho + 6 ψ.
+        (Formulation::Acoustic, Dims::Three) => 12,
+        // vx,vz,σxx,σzz,σxz + λ,μ,ρ + 8 ψ.
+        (Formulation::Elastic, Dims::Two) => 16,
+        // 3 v + 6 σ + λ,μ,ρ + 18 ψ.
+        (Formulation::Elastic, Dims::Three) => 30,
+    }
+}
+
+/// Additional resident arrays during the *backward* (migration) phase
+/// beyond a full modeling set (which the receiver wavefield re-uses after
+/// the offload/upload swap): the currently-loaded forward snapshot and the
+/// accumulating image.
+pub fn rtm_extra_array_count(f: Formulation, d: Dims) -> usize {
+    let _ = (f, d);
+    2
+}
+
+/// Bytes needed on the device for a modeling run over `points` allocated
+/// grid points (halo included).
+pub fn modeling_bytes(f: Formulation, d: Dims, points: usize) -> u64 {
+    modeling_array_count(f, d) as u64 * points as u64 * 4
+}
+
+/// Peak bytes needed on the device during RTM (backward phase), assuming the
+/// paper's phased allocation: modeling set minus offloaded scratch, plus the
+/// backward set.
+pub fn rtm_peak_bytes(f: Formulation, d: Dims, points: usize) -> u64 {
+    (modeling_array_count(f, d) + rtm_extra_array_count(f, d)) as u64 * points as u64 * 4
+}
+
+/// Naive (un-phased) RTM allocation: forward *and* backward sets resident
+/// simultaneously — what the paper found does **not** fit, motivating the
+/// `enter data` / `exit data` phasing.
+pub fn rtm_naive_bytes(f: Formulation, d: Dims, points: usize) -> u64 {
+    2 * modeling_bytes(f, d, points) + rtm_extra_array_count(f, d) as u64 * points as u64 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    /// The paper's headline memory result: elastic 3D at production size does
+    /// not fit the 6 GB Fermi but fits the 12 GB Kepler.
+    #[test]
+    fn elastic_3d_fits_kepler_not_fermi() {
+        let n = 400usize; // production-scale grid used by the repro harness
+        let points = n * n * n;
+        let b = modeling_bytes(Formulation::Elastic, Dims::Three, points);
+        assert!(b > 6 * GB, "elastic 3D = {} GB", b / GB);
+        assert!(b < 12 * GB, "elastic 3D = {} GB", b / GB);
+    }
+
+    #[test]
+    fn acoustic_and_iso_3d_fit_fermi() {
+        let n = 400usize;
+        let points = n * n * n;
+        assert!(modeling_bytes(Formulation::Acoustic, Dims::Three, points) < 6 * GB);
+        assert!(modeling_bytes(Formulation::Isotropic, Dims::Three, points) < 6 * GB);
+    }
+
+    /// Phased allocation must beat naive co-residency — the motivation for
+    /// the paper's enter/exit data strategy.
+    #[test]
+    fn phased_rtm_smaller_than_naive() {
+        for f in [
+            Formulation::Isotropic,
+            Formulation::Acoustic,
+            Formulation::Elastic,
+        ] {
+            for d in [Dims::Two, Dims::Three] {
+                let p = 1_000_000;
+                assert!(rtm_peak_bytes(f, d, p) < rtm_naive_bytes(f, d, p));
+            }
+        }
+    }
+
+    #[test]
+    fn array_counts_ordered_by_intensity() {
+        for d in [Dims::Two, Dims::Three] {
+            let iso = modeling_array_count(Formulation::Isotropic, d);
+            let ac = modeling_array_count(Formulation::Acoustic, d);
+            let el = modeling_array_count(Formulation::Elastic, d);
+            assert!(iso < ac && ac < el);
+        }
+    }
+
+    #[test]
+    fn labels_and_dims() {
+        assert_eq!(Formulation::Elastic.label(), "ELASTIC");
+        assert_eq!(Dims::Two.count(), 2);
+        assert_eq!(Dims::Three.count(), 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! Rank runtime: threads + channels with an MPI-flavoured nonblocking API.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Bytes,
+}
+
+/// A nonblocking communication request handle.
+///
+/// Sends complete eagerly (buffered, like small-message MPI); receives
+/// complete when a matching message arrives.
+#[derive(Debug)]
+pub enum Request {
+    /// A posted send (always complete — eager buffering).
+    Send,
+    /// A posted receive for (source, tag).
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Filled once matched.
+        data: Option<Bytes>,
+    },
+}
+
+impl Request {
+    /// True when the request has completed.
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Request::Send => true,
+            Request::Recv { data, .. } => data.is_some(),
+        }
+    }
+
+    /// Take the received payload (panics on sends or incomplete receives).
+    pub fn take(self) -> Bytes {
+        match self {
+            Request::Recv { data: Some(b), .. } => b,
+            _ => panic!("take() on a send or incomplete receive"),
+        }
+    }
+}
+
+/// Per-rank communication context handed to the rank closure.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    pending: Vec<Msg>,
+    barrier: Arc<Barrier>,
+    reduce_tx: Sender<(usize, f64)>,
+    reduce_rx: Receiver<(usize, f64)>,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Post a nonblocking send (eager: the payload is buffered immediately).
+    pub fn isend(&self, dest: usize, tag: u64, payload: Bytes) -> Request {
+        assert!(dest < self.size, "destination rank out of range");
+        self.peers[dest]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("peer hung up");
+        Request::Send
+    }
+
+    /// Post a nonblocking receive for a message from `src` with `tag`.
+    pub fn irecv(&mut self, src: usize, tag: u64) -> Request {
+        assert!(src < self.size, "source rank out of range");
+        // Check messages that already arrived out of order.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            let m = self.pending.remove(pos);
+            return Request::Recv {
+                src,
+                tag,
+                data: Some(m.payload),
+            };
+        }
+        Request::Recv {
+            src,
+            tag,
+            data: None,
+        }
+    }
+
+    /// Block until one incomplete request finishes; returns its index.
+    /// Mirrors `MPI_WAITANY` over the request array of Algorithm 1.
+    pub fn wait_any(&mut self, reqs: &mut [Request]) -> usize {
+        if let Some(i) = reqs.iter().position(Request::is_complete) {
+            return i;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("communicator shut down");
+            let matched = reqs.iter_mut().position(|r| {
+                matches!(r, Request::Recv { src, tag, data } if *src == msg.src && *tag == msg.tag && data.is_none())
+            });
+            match matched {
+                Some(i) => {
+                    if let Request::Recv { data, .. } = &mut reqs[i] {
+                        *data = Some(msg.payload);
+                    }
+                    return i;
+                }
+                None => self.pending.push(msg),
+            }
+        }
+    }
+
+    /// Wait for every request in the slice.
+    pub fn wait_all(&mut self, reqs: &mut [Request]) {
+        while reqs.iter().any(|r| !r.is_complete()) {
+            let msg = self.inbox.recv().expect("communicator shut down");
+            let matched = reqs.iter_mut().position(|r| {
+                matches!(r, Request::Recv { src, tag, data } if *src == msg.src && *tag == msg.tag && data.is_none())
+            });
+            match matched {
+                Some(j) => {
+                    if let Request::Recv { data, .. } = &mut reqs[j] {
+                        *data = Some(msg.payload);
+                    }
+                }
+                None => self.pending.push(msg),
+            }
+        }
+    }
+
+    /// Blocking receive convenience.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
+        let mut reqs = [self.irecv(src, tag)];
+        self.wait_any(&mut reqs);
+        match reqs {
+            [Request::Recv { data: Some(b), .. }] => b,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce a scalar with `op` (commutative+associative); every rank
+    /// returns the same result.
+    pub fn allreduce(&mut self, v: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        // Simple gather-to-all through a shared channel, fenced by barriers.
+        self.barrier();
+        self.reduce_tx.send((self.rank, v)).expect("reduce channel");
+        self.barrier();
+        let mut vals = vec![None::<f64>; self.size];
+        // Every rank drains exactly `size` values then re-publishes for
+        // the others? Instead: each rank reads all messages then barriers —
+        // but a channel consumer steals. Use the pending trick: rank 0
+        // collects and rebroadcasts point-to-point.
+        if self.rank == 0 {
+            for _ in 0..self.size {
+                let (r, x) = self.reduce_rx.recv().expect("reduce recv");
+                vals[r] = Some(x);
+            }
+            let acc = vals
+                .into_iter()
+                .map(|x| x.expect("missing rank contribution"))
+                .reduce(&op)
+                .expect("non-empty communicator");
+            for dest in 1..self.size {
+                self.isend(dest, u64::MAX, Bytes::copy_from_slice(&acc.to_le_bytes()));
+            }
+            self.barrier();
+            acc
+        } else {
+            let b = self.recv(0, u64::MAX);
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&b);
+            self.barrier();
+            f64::from_le_bytes(buf)
+        }
+    }
+}
+
+/// Factory for running SPMD closures across ranks.
+pub struct Communicator;
+
+impl Communicator {
+    /// Run `f` on `size` ranks (threads); returns each rank's result in
+    /// rank order. Panics in any rank propagate.
+    pub fn run<T: Send>(size: usize, f: impl Fn(&mut RankCtx) -> T + Sync) -> Vec<T> {
+        assert!(size > 0, "communicator needs at least one rank");
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Msg>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        let (rtx, rrx) = unbounded::<(usize, f64)>();
+        let f = &f;
+        let mut out: Vec<Option<T>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(rank, inbox)| {
+                    let peers = txs.clone();
+                    let barrier = Arc::clone(&barrier);
+                    let reduce_tx = rtx.clone();
+                    let reduce_rx = rrx.clone();
+                    s.spawn(move || {
+                        let mut ctx = RankCtx {
+                            rank,
+                            size,
+                            inbox,
+                            peers,
+                            pending: Vec::new(),
+                            barrier,
+                            reduce_tx,
+                            reduce_rx,
+                        };
+                        f(&mut ctx)
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => out[rank] = Some(v),
+                    // Re-raise with the original payload so callers (and
+                    // `#[should_panic]` tests) see the rank's own message.
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        out.into_iter().map(|x| x.expect("rank result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = Communicator::run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.isend(next, 7, Bytes::copy_from_slice(&(c.rank() as u64).to_le_bytes()));
+            let b = c.recv(prev, 7);
+            u64::from_le_bytes(b.as_ref().try_into().unwrap())
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn requests_match_out_of_order() {
+        let results = Communicator::run(2, |c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1 — receiver posts 1 before 2.
+                c.isend(1, 2, Bytes::from_static(b"two"));
+                c.isend(1, 1, Bytes::from_static(b"one"));
+                Bytes::new()
+            } else {
+                let mut reqs = vec![c.irecv(0, 1), c.irecv(0, 2)];
+                let first = c.wait_any(&mut reqs);
+                assert!(reqs[first].is_complete());
+                c.wait_all(&mut reqs);
+                assert!(reqs.iter().all(Request::is_complete));
+                let mut it = reqs.into_iter();
+                let one = it.next().unwrap().take();
+                assert_eq!(one.as_ref(), b"one");
+                it.next().unwrap().take()
+            }
+        });
+        assert_eq!(results[1].as_ref(), b"two");
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let sums = Communicator::run(5, |c| c.allreduce(c.rank() as f64, |a, b| a + b));
+        assert!(sums.iter().all(|&s| s == 10.0));
+        let maxes = Communicator::run(3, |c| c.allreduce((c.rank() * 2) as f64, f64::max));
+        assert!(maxes.iter().all(|&m| m == 4.0));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        Communicator::run(4, |c| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all 4 increments.
+            assert_eq!(phase1.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let r = Communicator::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.allreduce(42.0, f64::max)
+        });
+        assert_eq!(r, vec![42.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination rank out of range")]
+    fn send_out_of_range_panics() {
+        Communicator::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(5, 0, Bytes::new());
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_completes_everything() {
+        Communicator::run(3, |c| {
+            let mut reqs = Vec::new();
+            for dest in 0..c.size() {
+                if dest != c.rank() {
+                    reqs.push(c.isend(dest, 9, Bytes::from_static(b"x")));
+                }
+            }
+            for src in 0..c.size() {
+                if src != c.rank() {
+                    reqs.push(c.irecv(src, 9));
+                }
+            }
+            c.wait_all(&mut reqs);
+            assert!(reqs.iter().all(Request::is_complete));
+        });
+    }
+}

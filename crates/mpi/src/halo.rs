@@ -1,0 +1,248 @@
+//! Ghost-node (halo) exchange between neighbouring slabs.
+//!
+//! Implements the `exchange_boundaries` step of Algorithm 1: each rank sends
+//! its outermost owned rows to its z-neighbours and receives their rows into
+//! its halo shell, using the nonblocking post-all-then-wait pattern of the
+//! paper's reference code.
+
+use crate::comm::{RankCtx, Request};
+use crate::decomp::Slab;
+use bytes::{BufMut, Bytes, BytesMut};
+use seismic_grid::{Field2, Field3};
+
+/// Pack `count` raw rows starting at raw row `rz0` into a byte buffer.
+fn pack_rows2(f: &Field2, rz0: usize, count: usize) -> Bytes {
+    let e = f.extent();
+    let fnx = e.full_nx();
+    let mut buf = BytesMut::with_capacity(count * fnx * 4);
+    let s = f.as_slice();
+    for rz in rz0..rz0 + count {
+        for v in &s[rz * fnx..(rz + 1) * fnx] {
+            buf.put_f32_le(*v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Unpack rows from [`pack_rows2`] into raw rows starting at `rz0`.
+fn unpack_rows2(f: &mut Field2, rz0: usize, count: usize, data: &Bytes) {
+    let e = f.extent();
+    let fnx = e.full_nx();
+    assert_eq!(data.len(), count * fnx * 4, "halo payload size mismatch");
+    let s = f.as_mut_slice();
+    for (i, chunk) in data.chunks_exact(4).enumerate() {
+        let v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        s[rz0 * fnx + i] = v;
+    }
+}
+
+fn pack_planes3(f: &Field3, rz0: usize, count: usize) -> Bytes {
+    let e = f.extent();
+    let plane = e.full_nx() * e.full_ny();
+    let mut buf = BytesMut::with_capacity(count * plane * 4);
+    let s = f.as_slice();
+    for rz in rz0..rz0 + count {
+        for v in &s[rz * plane..(rz + 1) * plane] {
+            buf.put_f32_le(*v);
+        }
+    }
+    buf.freeze()
+}
+
+fn unpack_planes3(f: &mut Field3, rz0: usize, count: usize, data: &Bytes) {
+    let e = f.extent();
+    let plane = e.full_nx() * e.full_ny();
+    assert_eq!(data.len(), count * plane * 4, "halo payload size mismatch");
+    let s = f.as_mut_slice();
+    for (i, chunk) in data.chunks_exact(4).enumerate() {
+        let v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        s[rz0 * plane + i] = v;
+    }
+}
+
+/// Exchange z-halos of a 2D field with both neighbours.
+///
+/// The local field's interior depth must equal `slab.nz()` and its halo the
+/// decomposition ghost width. `tag_base` namespaces concurrent exchanges of
+/// different fields (each exchange uses `tag_base` and `tag_base + 1`).
+pub fn exchange_halo2(ctx: &mut RankCtx, field: &mut Field2, slab: &Slab, tag_base: u64) {
+    let e = field.extent();
+    let g = e.halo;
+    assert_eq!(e.nz, slab.nz(), "field depth must match the slab");
+    let mut reqs: Vec<Request> = Vec::with_capacity(4);
+    let mut incoming: Vec<(usize, usize)> = Vec::new(); // (raw row, req idx)
+
+    // Post receives first (good MPI hygiene), then sends.
+    if let Some(lo) = slab.lo_neighbor {
+        incoming.push((0, reqs.len()));
+        let r = ctx.irecv(lo, tag_base);
+        reqs.push(r);
+    }
+    if let Some(hi) = slab.hi_neighbor {
+        incoming.push((g + e.nz, reqs.len()));
+        let r = ctx.irecv(hi, tag_base + 1);
+        reqs.push(r);
+    }
+    if let Some(lo) = slab.lo_neighbor {
+        // My lowest owned rows become lo's high halo; lo receives them with
+        // tag_base + 1 (message travelling downward).
+        let payload = pack_rows2(field, g, g);
+        reqs.push(ctx.isend(lo, tag_base + 1, payload));
+    }
+    if let Some(hi) = slab.hi_neighbor {
+        let payload = pack_rows2(field, e.nz, g); // raw rows g+nz-g .. = interior top
+        reqs.push(ctx.isend(hi, tag_base, payload));
+    }
+    ctx.wait_all(&mut reqs);
+    for (rz0, idx) in incoming {
+        let data = match &reqs[idx] {
+            Request::Recv { data: Some(b), .. } => b.clone(),
+            _ => unreachable!("receive completed by wait_all"),
+        };
+        unpack_rows2(field, rz0, g, &data);
+    }
+}
+
+/// Exchange z-halos of a 3D field with both neighbours.
+pub fn exchange_halo3(ctx: &mut RankCtx, field: &mut Field3, slab: &Slab, tag_base: u64) {
+    let e = field.extent();
+    let g = e.halo;
+    assert_eq!(e.nz, slab.nz(), "field depth must match the slab");
+    let mut reqs: Vec<Request> = Vec::with_capacity(4);
+    let mut incoming: Vec<(usize, usize)> = Vec::new();
+
+    if let Some(lo) = slab.lo_neighbor {
+        incoming.push((0, reqs.len()));
+        let r = ctx.irecv(lo, tag_base);
+        reqs.push(r);
+    }
+    if let Some(hi) = slab.hi_neighbor {
+        incoming.push((g + e.nz, reqs.len()));
+        let r = ctx.irecv(hi, tag_base + 1);
+        reqs.push(r);
+    }
+    if let Some(lo) = slab.lo_neighbor {
+        let payload = pack_planes3(field, g, g);
+        reqs.push(ctx.isend(lo, tag_base + 1, payload));
+    }
+    if let Some(hi) = slab.hi_neighbor {
+        let payload = pack_planes3(field, e.nz, g);
+        reqs.push(ctx.isend(hi, tag_base, payload));
+    }
+    ctx.wait_all(&mut reqs);
+    for (rz0, idx) in incoming {
+        let data = match &reqs[idx] {
+            Request::Recv { data: Some(b), .. } => b.clone(),
+            _ => unreachable!("receive completed by wait_all"),
+        };
+        unpack_planes3(field, rz0, g, &data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Communicator;
+    use crate::decomp::SlabDecomp;
+    use seismic_grid::{Extent2, Extent3};
+
+    /// Fill a rank-local field with a function of *global* coordinates,
+    /// interior only.
+    fn fill_local(e: Extent2, z_off: usize, f: impl Fn(usize, usize) -> f32) -> Field2 {
+        Field2::from_fn(e, |ix, iz| f(ix, iz + z_off))
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = Extent2::new(6, 5, 2);
+        let f = Field2::from_fn(e, |ix, iz| (ix + 10 * iz) as f32);
+        let b = pack_rows2(&f, 2, 2);
+        let mut g = Field2::zeros(e);
+        unpack_rows2(&mut g, 2, 2, &b);
+        for iz in 0..2 {
+            for ix in 0..e.nx {
+                assert_eq!(g.get(ix, iz), f.get(ix, iz));
+            }
+        }
+    }
+
+    /// After one exchange, every rank's halo must equal the neighbour's
+    /// interior rows — i.e. exactly match the global field.
+    #[test]
+    fn halo2_matches_global_field() {
+        let nx = 8;
+        let nz_global = 23;
+        let ghost = 4;
+        let d = SlabDecomp::new(nz_global, 3, ghost);
+        let global = |ix: usize, iz: usize| (100 * iz + ix) as f32;
+        Communicator::run(3, |ctx| {
+            let slab = d.slab(ctx.rank());
+            let e = Extent2::new(nx, slab.nz(), ghost);
+            let mut f = fill_local(e, slab.z0, global);
+            exchange_halo2(ctx, &mut f, &slab, 10);
+            let fnx = e.full_nx();
+            // Low halo (only for ranks with a lo neighbour).
+            if slab.lo_neighbor.is_some() {
+                for hz in 0..ghost {
+                    let gz = slab.z0 - ghost + hz;
+                    for ix in 0..nx {
+                        let raw = hz * fnx + (ix + ghost);
+                        assert_eq!(f.as_slice()[raw], global(ix, gz), "rank {} low halo", ctx.rank());
+                    }
+                }
+            }
+            if slab.hi_neighbor.is_some() {
+                for hz in 0..ghost {
+                    let gz = slab.z1 + hz;
+                    for ix in 0..nx {
+                        let raw = (ghost + slab.nz() + hz) * fnx + (ix + ghost);
+                        assert_eq!(f.as_slice()[raw], global(ix, gz), "rank {} high halo", ctx.rank());
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn halo3_matches_global_field() {
+        let (nx, ny) = (5, 4);
+        let nz_global = 18;
+        let ghost = 3;
+        let d = SlabDecomp::new(nz_global, 2, ghost);
+        let global = |ix: usize, iy: usize, iz: usize| (1000 * iz + 10 * iy + ix) as f32;
+        Communicator::run(2, |ctx| {
+            let slab = d.slab(ctx.rank());
+            let e = Extent3::new(nx, ny, slab.nz(), ghost);
+            let mut f = Field3::from_fn(e, |ix, iy, iz| global(ix, iy, iz + slab.z0));
+            exchange_halo3(ctx, &mut f, &slab, 20);
+            let plane = e.full_nx() * e.full_ny();
+            if slab.hi_neighbor.is_some() {
+                for hz in 0..ghost {
+                    let gz = slab.z1 + hz;
+                    let raw = (ghost + slab.nz() + hz) * plane + ghost * e.full_nx() + ghost;
+                    assert_eq!(f.as_slice()[raw], global(0, 0, gz));
+                }
+            }
+            if slab.lo_neighbor.is_some() {
+                for hz in 0..ghost {
+                    let gz = slab.z0 - ghost + hz;
+                    let raw = hz * plane + ghost * e.full_nx() + ghost;
+                    assert_eq!(f.as_slice()[raw], global(0, 0, gz));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_exchange_is_noop() {
+        let d = SlabDecomp::new(16, 1, 4);
+        Communicator::run(1, |ctx| {
+            let slab = d.slab(0);
+            let e = Extent2::new(4, 16, 4);
+            let mut f = Field2::filled(e, 7.0);
+            let before = f.clone();
+            exchange_halo2(ctx, &mut f, &slab, 0);
+            assert_eq!(f, before);
+        });
+    }
+}

@@ -1,0 +1,368 @@
+//! The OpenACC runtime: clock, launches, data movement, async queues.
+
+use crate::compiler::Compiler;
+use crate::construct::{Clause, ConstructKind, LoopNest};
+use crate::data::{DataEnv, DataError};
+use accel_sim::kernel::{time_kernel, KernelProfile, KernelTiming};
+use accel_sim::pcie::{HostAlloc, TransferKind};
+use accel_sim::stream::{IssueMode, QueuedKernel, StreamSim};
+use accel_sim::{DeviceSpec, EventKind, Profiler, SimTime};
+use seismic_prop::desc::KernelDesc;
+
+/// A device context: simulated clock + data environment + async queues.
+///
+/// Drivers call [`AccRuntime::launch`] once per kernel per time step with
+/// the propagator's static descriptor and the directives they would have
+/// written in Fortran; the runtime lowers them through the configured
+/// compiler, prices the launch, and advances the simulated clock.
+pub struct AccRuntime {
+    compiler: Compiler,
+    data: DataEnv,
+    profiler: Profiler,
+    queue: StreamSim,
+    clock: SimTime,
+    /// Global `-ta=nvidia,maxregcount:n` compile flag (the paper's best
+    /// strategy pinned 64).
+    pub default_maxregcount: Option<u32>,
+}
+
+impl AccRuntime {
+    /// New runtime for a device/compiler pair with pinned host memory (the
+    /// paper's best compile line uses `pin`).
+    pub fn new(dev: DeviceSpec, compiler: Compiler) -> Self {
+        Self {
+            compiler,
+            data: DataEnv::new(dev, HostAlloc::Pinned),
+            profiler: Profiler::new(),
+            queue: StreamSim::new(),
+            clock: 0.0,
+            default_maxregcount: Some(64),
+        }
+    }
+
+    /// The device spec.
+    pub fn device(&self) -> &DeviceSpec {
+        self.data.device()
+    }
+
+    /// The configured compiler.
+    pub fn compiler(&self) -> Compiler {
+        self.compiler
+    }
+
+    /// The data environment.
+    pub fn data(&mut self) -> &mut DataEnv {
+        &mut self.data
+    }
+
+    /// The profiler ledger.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Simulated wall-clock so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Add host-side simulated time (e.g. the CPU part of a driver step).
+    pub fn advance_host(&mut self, dt: SimTime) {
+        self.clock += dt;
+    }
+
+    /// Launch one kernel described by `desc` over `nest` under the given
+    /// construct and clauses. Synchronous launches advance the clock
+    /// immediately; async launches queue until [`AccRuntime::wait_async`].
+    pub fn launch(
+        &mut self,
+        desc: &KernelDesc,
+        nest: &LoopNest,
+        kind: ConstructKind,
+        clauses: &[Clause],
+    ) -> KernelTiming {
+        let plan = self
+            .compiler
+            .map(nest, kind, clauses, desc.divergence > 0.0);
+        let dev = self.data.device();
+        let profile = KernelProfile {
+            name: desc.name.to_string(),
+            points: nest.points(),
+            flops_per_point: desc.flops,
+            bytes_per_point: desc.bytes_per_point(),
+            regs_needed: desc.regs,
+            maxregcount: plan.maxregcount.or(self.default_maxregcount),
+            coalesced: desc.coalesced && plan.coalesced,
+            divergence: desc.divergence,
+            vectorized: plan.vectorized,
+        };
+        let mut timing = time_kernel(dev, &profile);
+        timing.exec_s *= plan.quality;
+        timing.total_s = timing.exec_s + dev.launch_overhead_s;
+
+        let stream = plan.async_stream.unwrap_or(0);
+        self.profiler
+            .record(EventKind::Kernel, desc.name, timing.exec_s, stream);
+        match plan.async_stream {
+            Some(q) => {
+                let capacity = f64::from(dev.sm_count) * f64::from(dev.max_threads_per_sm);
+                self.queue.push(QueuedKernel {
+                    name: desc.name.to_string(),
+                    exec_s: timing.exec_s,
+                    sm_fraction: ((nest.points() as f64) / capacity).min(1.0),
+                    stream: q,
+                });
+            }
+            None => {
+                self.clock += dev.issue_gap_s + timing.total_s;
+            }
+        }
+        timing
+    }
+
+    /// `!$acc wait` — drain all async queues, advancing the clock by the
+    /// overlapped makespan.
+    pub fn wait_async(&mut self) -> SimTime {
+        if self.queue.is_empty() {
+            return 0.0;
+        }
+        let dev = self.data.device().clone();
+        let t = self.queue.drain_makespan(&dev, IssueMode::AsyncStreams);
+        self.clock += t;
+        t
+    }
+
+    /// `!$acc wait(queue)` — drain one async queue only.
+    pub fn wait_queue(&mut self, queue: u32) -> SimTime {
+        let dev = self.data.device().clone();
+        let t = self.queue.drain_queue_makespan(&dev, queue);
+        self.clock += t;
+        t
+    }
+
+    /// A structured `!$acc data copyin(...)` region: maps every listed
+    /// variable, runs `body`, then unmaps them in reverse order — the
+    /// structured counterpart of the enter/exit pairs, guaranteeing no
+    /// leaks on early return.
+    pub fn data_region<T>(
+        &mut self,
+        vars: &[(&str, u64)],
+        body: impl FnOnce(&mut Self) -> T,
+    ) -> Result<T, DataError> {
+        let mut mapped: Vec<String> = Vec::with_capacity(vars.len());
+        for (name, bytes) in vars {
+            if let Err(e) = self.enter_data_copyin(name, *bytes) {
+                for done in mapped.iter().rev() {
+                    self.exit_data_delete(done).expect("mapped in this region");
+                }
+                return Err(e);
+            }
+            mapped.push((*name).to_string());
+        }
+        let out = body(self);
+        for done in mapped.iter().rev() {
+            self.exit_data_delete(done).expect("mapped in this region");
+        }
+        Ok(out)
+    }
+
+    /// Data directive: `enter data copyin`, advancing the clock.
+    pub fn enter_data_copyin(&mut self, name: &str, bytes: u64) -> Result<(), DataError> {
+        let t = self.data.enter_data_copyin(name, bytes, &self.profiler)?;
+        self.clock += t;
+        Ok(())
+    }
+
+    /// Data directive: `enter data create` (no transfer).
+    pub fn enter_data_create(&mut self, name: &str, bytes: u64) -> Result<(), DataError> {
+        let t = self.data.enter_data_create(name, bytes)?;
+        self.clock += t;
+        Ok(())
+    }
+
+    /// Data directive: `exit data delete`.
+    pub fn exit_data_delete(&mut self, name: &str) -> Result<(), DataError> {
+        self.data.exit_data_delete(name)
+    }
+
+    /// `update host`, advancing the clock.
+    pub fn update_host(
+        &mut self,
+        name: &str,
+        bytes: Option<u64>,
+        kind: TransferKind,
+    ) -> Result<SimTime, DataError> {
+        let t = self.data.update_host(name, bytes, kind, &self.profiler)?;
+        self.clock += t;
+        Ok(t)
+    }
+
+    /// `update device`, advancing the clock.
+    pub fn update_device(
+        &mut self,
+        name: &str,
+        bytes: Option<u64>,
+        kind: TransferKind,
+    ) -> Result<SimTime, DataError> {
+        let t = self.data.update_device(name, bytes, kind, &self.profiler)?;
+        self.clock += t;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::PgiVersion;
+    use seismic_prop::desc::KernelDesc;
+
+    fn desc() -> KernelDesc {
+        KernelDesc {
+            name: "test_kernel",
+            flops: 58.0,
+            reads: 4.6,
+            writes: 1.0,
+            regs: 52,
+            coalesced: true,
+            divergence: 0.0,
+        }
+    }
+
+    fn rt() -> AccRuntime {
+        AccRuntime::new(DeviceSpec::k40(), Compiler::Pgi(PgiVersion::V14_6))
+    }
+
+    #[test]
+    fn sync_launch_advances_clock() {
+        let mut r = rt();
+        let nest = LoopNest::new(&[128, 128, 128]);
+        let t0 = r.elapsed();
+        let timing = r.launch(&desc(), &nest, ConstructKind::Kernels, &[Clause::Independent]);
+        assert!(r.elapsed() > t0);
+        assert!(timing.exec_s > 0.0);
+        assert_eq!(r.profiler().len(), 1);
+    }
+
+    #[test]
+    fn async_launches_wait_for_drain() {
+        let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+        let nest = LoopNest::new(&[64, 64]);
+        let before = r.elapsed();
+        for q in 0..4 {
+            r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(q)]);
+        }
+        // Async launches do not advance the clock until the wait.
+        assert_eq!(r.elapsed(), before);
+        let t = r.wait_async();
+        assert!(t > 0.0);
+        assert_eq!(r.elapsed(), before + t);
+        // Second wait is a no-op.
+        assert_eq!(r.wait_async(), 0.0);
+    }
+
+    /// The paper's async contrast: under CRAY, issuing the independent
+    /// kernels on async streams beats synchronous issue of the *same*
+    /// kernels (reduced launch lag); under PGI the clause changes nothing
+    /// because it lands everything on one queue.
+    #[test]
+    fn cray_async_beats_cray_sync_pgi_unchanged() {
+        let nest = LoopNest::new(&[512, 512]);
+        let run = |compiler: Compiler, use_async: bool| {
+            let mut r = AccRuntime::new(DeviceSpec::k40(), compiler);
+            for q in 0..4u32 {
+                let mut clauses = Vec::new();
+                if use_async {
+                    clauses.push(Clause::Async(q));
+                }
+                r.launch(&desc(), &nest, ConstructKind::Parallel, &clauses);
+            }
+            r.wait_async();
+            r.elapsed()
+        };
+        let cray_sync = run(Compiler::Cray, false);
+        let cray_async = run(Compiler::Cray, true);
+        assert!(
+            cray_async < cray_sync,
+            "async {cray_async} vs sync {cray_sync}"
+        );
+        let pgi_sync = run(Compiler::Pgi(PgiVersion::V14_6), false);
+        let pgi_async = run(Compiler::Pgi(PgiVersion::V14_6), true);
+        assert!((pgi_sync - pgi_async).abs() < 1e-12, "PGI ignores async");
+    }
+
+    #[test]
+    fn data_directives_roundtrip() {
+        let mut r = rt();
+        r.enter_data_copyin("u", 1 << 20).unwrap();
+        let t = r
+            .update_host("u", Some(1 << 10), TransferKind::Contiguous)
+            .unwrap();
+        assert!(t > 0.0);
+        r.exit_data_delete("u").unwrap();
+        assert!(r.update_device("u", None, TransferKind::Contiguous).is_err());
+    }
+
+    #[test]
+    fn maxregcount_default_applies() {
+        let mut r = rt();
+        r.default_maxregcount = Some(32);
+        let mut d = desc();
+        d.regs = 80; // above the cap → spills
+        let nest = LoopNest::new(&[256, 256]);
+        let t = r.launch(&d, &nest, ConstructKind::Kernels, &[]);
+        assert!(t.spilled > 0);
+        // Explicit clause overrides the default.
+        let t2 = r.launch(
+            &d,
+            &nest,
+            ConstructKind::Kernels,
+            &[Clause::MaxRegCount(128)],
+        );
+        assert_eq!(t2.spilled, 0);
+    }
+
+    #[test]
+    fn wait_queue_is_selective() {
+        let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+        let nest = LoopNest::new(&[128, 128]);
+        r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(0)]);
+        r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(1)]);
+        let t0 = r.wait_queue(0);
+        assert!(t0 > 0.0);
+        // Queue 1 still pending: the global wait drains it.
+        let t1 = r.wait_async();
+        assert!(t1 > 0.0);
+        assert_eq!(r.wait_async(), 0.0);
+    }
+
+    #[test]
+    fn data_region_maps_and_unmaps() {
+        let mut r = rt();
+        let out = r
+            .data_region(&[("u", 1 << 20), ("v", 1 << 20)], |rt| {
+                assert!(rt.data.present("u").is_ok());
+                assert!(rt.data.present("v").is_ok());
+                42
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        assert!(r.data.present("u").is_err(), "unmapped at region exit");
+        assert!(r.data.present("v").is_err());
+    }
+
+    #[test]
+    fn data_region_unwinds_on_oom() {
+        // 6 GB card: the second variable cannot fit; the first must be
+        // unmapped by the failed-region cleanup.
+        let mut r = AccRuntime::new(DeviceSpec::m2090(), Compiler::Cray);
+        let e = r.data_region(&[("a", 4 << 30), ("b", 4 << 30)], |_| ());
+        assert!(e.is_err());
+        assert_eq!(r.data().device_bytes_in_use(), 0, "no leak after OOM");
+    }
+
+    #[test]
+    fn host_time_accumulates() {
+        let mut r = rt();
+        r.advance_host(1.5);
+        assert_eq!(r.elapsed(), 1.5);
+    }
+}

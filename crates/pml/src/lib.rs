@@ -1,0 +1,38 @@
+//! # seismic-pml
+//!
+//! Absorbing boundary layers for the three propagators.
+//!
+//! The computational domain has to be truncated; the paper (Section 5) uses:
+//!
+//! * **standard PML** (Bérenger-style damping layer) for the 2nd-order
+//!   isotropic formulation — implemented here as the damped wave equation
+//!   `∂²ₜu + 2σ∂ₜu = v²∇²u` with a polynomial σ profile ([`DampProfile`]);
+//!   like the paper's standard PML this absorbs traveling waves well but is
+//!   imperfect for evanescent/grazing energy,
+//! * **C-PML** (Convolutional PML, Komatitsch & Martin 2007) for the
+//!   staggered acoustic and elastic systems, storing the per-axis
+//!   one-dimensional coefficient arrays `a`, `b`, `1/κ` ([`CpmlAxis`]) plus
+//!   per-field memory variables ψ updated as `ψ ← b·ψ + a·∂u`, with the
+//!   effective derivative `∂u/κ + ψ` — exactly the "four different
+//!   one-dimensional arrays with the cpml-coefficients for each dimension"
+//!   of the paper.
+//!
+//! The isotropic kernel's PML is also where the paper's Figure 6/7
+//! restructuring experiments live: the boundary-only `if`-statements hurt
+//! GPU gridification, so `seismic-prop` provides variants that (a) keep the
+//! branches, (b) restructure loop indices, or (c) "compute PML everywhere".
+//! The profile arrays here make variant (c) numerically identical to (a)
+//! because σ and the ψ coefficients vanish identically in the interior.
+
+pub mod cpml;
+pub mod damp;
+
+pub use cpml::CpmlAxis;
+pub use damp::DampProfile;
+
+/// Default absorbing-layer thickness in grid points.
+pub const DEFAULT_PML_WIDTH: usize = 20;
+
+/// Theoretical normal-incidence reflection coefficient targeted by the
+/// profile design (R₀). Smaller R₀ → stronger damping.
+pub const DEFAULT_R0: f64 = 1e-4;

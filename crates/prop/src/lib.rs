@@ -1,0 +1,72 @@
+//! # seismic-prop
+//!
+//! The six finite-difference propagators of the paper — {isotropic
+//! constant-density, acoustic variable-density, elastic velocity–stress} ×
+//! {2D, 3D} — plus the kernel variants its GPU optimization study compares:
+//!
+//! * **isotropic** ([`iso2d`], [`iso3d`]): 2nd-order-in-time leapfrog on the
+//!   scalar wave equation with a damping-layer PML; three kernel variants
+//!   reproduce the Figure 6/7 restructurings (boundary `if`s, restructured
+//!   loop indices, PML-everywhere),
+//! * **acoustic** ([`acoustic2d`], [`acoustic3d`]): 1st-order staggered
+//!   pressure–velocity system with C-PML; the 3D pressure kernel exists in
+//!   *fused* and *fissioned* forms (Figure 12) and the 2D system in *direct*
+//!   and *transposed* forms (Figure 13),
+//! * **elastic** ([`elastic2d`], [`elastic3d`]): velocity–stress staggered
+//!   grid (2D: 2 velocities + 3 stresses, 3D: 3 velocities + 6 stresses)
+//!   with C-PML; its many independent kernels are what the paper overlaps
+//!   with `async` streams (Figure 11).
+//!
+//! As an extension beyond the paper's evaluation, [`vti2d`] implements the
+//! anisotropic (VTI pseudo-acoustic) formulation the authors defer to
+//! future work.
+//!
+//! Every step function is a plain sequential loop nest over a z-slab range
+//! `[z0, z1)`. Single-threaded callers pass the full range; `openacc-sim`
+//! and `mpi-sim` partition the range across threads/ranks. The [`desc`]
+//! module publishes per-kernel arithmetic descriptors (flops, bytes,
+//! registers) consumed by the `accel-sim` performance model.
+
+pub mod acoustic2d;
+pub mod acoustic3d;
+pub mod desc;
+pub mod elastic2d;
+pub mod elastic3d;
+pub mod iso2d;
+pub mod iso3d;
+pub mod vti2d;
+
+use serde::{Deserialize, Serialize};
+
+/// Which variant of the isotropic PML kernel to run (Figures 6/7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IsoPmlVariant {
+    /// Boundary `if`-statements inside the main loop (the original code).
+    OriginalIfs,
+    /// Loop region restructured so interior and boundary strips are separate
+    /// perfectly-nested loops (no branches inside any kernel).
+    RestructuredIndices,
+    /// Damping terms evaluated at every grid point; σ = 0 in the interior
+    /// makes this numerically identical while removing all branches.
+    PmlEverywhere,
+}
+
+/// Which form of the acoustic 3D pressure-update kernel to run (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FissionVariant {
+    /// One kernel computes the x, y, and z derivative contributions —
+    /// maximum register pressure.
+    Fused,
+    /// Three kernels, one per dimension — the paper's loop-fission rewrite
+    /// that gained 3× on Fermi.
+    Fissioned,
+}
+
+/// Memory-access strategy of the acoustic 2D backward kernel (Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransposeVariant {
+    /// Update sweeps the strided (z) axis innermost — uncoalesced.
+    Direct,
+    /// Transpose to scratch, sweep the contiguous axis, transpose back.
+    Transposed,
+}

@@ -1,0 +1,31 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+
+use repro::ablation::{
+    cache_clause_ablation, partial_transfer_ablation, pinned_memory_ablation,
+    pml_width_ablation,
+};
+
+fn main() {
+    println!("Ablation 1: what working tile/cache clauses would have bought");
+    println!("(per-run isotropic 3D main-kernel time; the paper: \"the tile and");
+    println!("cache features are not working properly in both CRAY and PGI\")\n");
+    for (card, without, with) in cache_clause_ablation() {
+        println!(
+            "  {card:14} without {without:8.4} s   with {with:8.4} s   gain {:.2}x",
+            without / with
+        );
+    }
+
+    let (pageable, pinned) = pinned_memory_ablation();
+    println!("\nAblation 2: the `pin` compile option (isotropic 2D RTM, M2090)");
+    println!("  pageable {pageable:7.1} s   pinned {pinned:7.1} s   gain {:.2}x", pageable / pinned);
+
+    let (full, partial) = partial_transfer_ablation();
+    println!("\nAblation 3: partial vs full-field consistency transfers (iso 3D RTM)");
+    println!("  full-field {full:8.1} s   partial {partial:8.1} s   gain {:.1}x", full / partial);
+
+    println!("\nAblation 4: C-PML width vs residual boundary energy (real execution)");
+    for (width, residual) in pml_width_ablation() {
+        println!("  width {width:3} points: residual energy fraction {residual:.2e}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Extension study: GPU speedup vs grid size.
+//!
+//! The paper attributes its weak 2D results to "the lack of enough
+//! computations" and expects multi-GPU overlap to pay "especially when
+//! larger grid dimensions are used". This binary sweeps the acoustic 3D
+//! case over grid sizes on both clusters and prints the modeled
+//! GPU-vs-full-socket speedup curve, showing where the device starts to
+//! pay for itself.
+
+use openacc_sim::{Compiler, PgiVersion};
+use repro::cases::table_workload;
+use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase, Workload};
+use rtm_core::cpu_time::modeling_cpu_time;
+use rtm_core::gpu_time::modeling_time;
+use seismic_model::footprint::{Dims, Formulation};
+
+fn main() {
+    let case = SeismicCase {
+        formulation: Formulation::Acoustic,
+        dims: Dims::Three,
+    };
+    let base = table_workload(&case);
+    println!("Acoustic 3D modeling speedup vs grid size ({} steps):\n", base.steps / 4);
+    println!(
+        "{:>7} {:>14} {:>14} {:>12} | {:>14} {:>14} {:>12}",
+        "grid", "K40 (s)", "CRAY CPU (s)", "speedup", "M2090 (s)", "IBM CPU (s)", "speedup"
+    );
+    let cfg = OptimizationConfig::default();
+    for n in [96usize, 160, 256, 320, 400] {
+        let w = Workload {
+            nx: n,
+            ny: n,
+            nz: n,
+            steps: base.steps / 4,
+            snap_period: base.snap_period,
+            n_receivers: base.n_receivers,
+        };
+        let row = |cluster: Cluster, compiler| {
+            let cpu = modeling_cpu_time(&case, cluster, &w).total_s();
+            match modeling_time(&case, &cfg, compiler, cluster, &w) {
+                Ok(r) => (Some(r.breakdown.total_s), cpu),
+                Err(_) => (None, cpu),
+            }
+        };
+        let (k40, cray_cpu) = row(Cluster::CrayXc30, Compiler::Pgi(PgiVersion::V14_6));
+        let (m2090, ibm_cpu) = row(Cluster::Ibm, Compiler::Pgi(PgiVersion::V14_3));
+        let fmt = |t: Option<f64>| t.map_or("X".into(), |t| format!("{t:11.1}"));
+        let sp = |t: Option<f64>, c: f64| t.map_or("-".into(), |t| format!("{:9.2}x", c / t));
+        println!(
+            "{:>5}^3 {:>14} {:>14} {:>12} | {:>14} {:>14} {:>12}",
+            n,
+            fmt(k40),
+            format!("{cray_cpu:11.1}"),
+            sp(k40, cray_cpu),
+            fmt(m2090),
+            format!("{ibm_cpu:11.1}"),
+            sp(m2090, ibm_cpu)
+        );
+    }
+    println!("\nSmall grids are launch/transfer-bound (the paper's 2D story);");
+    println!("speedup saturates once the device is fully occupied.");
+}

@@ -1,0 +1,20 @@
+//! Figures 6 and 7: ISO modeling 3D under PGI 14.6 (Fig. 6) and PGI 14.3
+//! (Fig. 7) for the three PML-kernel restructurings of Section 5.2.
+
+use openacc_sim::PgiVersion;
+use repro::figures::{fig6_7, variant_label};
+
+fn main() {
+    for (version, fig) in [(PgiVersion::V14_6, 6), (PgiVersion::V14_3, 7)] {
+        let series = fig6_7(version);
+        println!("Figure {fig}: ISO Modeling 3D ({version:?}) — total GPU time");
+        let worst = series.iter().map(|s| s.1).fold(0.0f64, f64::max);
+        for (v, t) in &series {
+            let bar = "#".repeat(((t / worst) * 48.0) as usize);
+            println!("  {:28} {:8.1} s  {}", variant_label(*v), t, bar);
+        }
+        println!();
+    }
+    println!("Shape: restructuring pays off under 14.3 (CUDA 5.0 back-end) but");
+    println!("not under 14.6 — \"The CUDA version used affects GPU code generation\".");
+}

@@ -1,0 +1,21 @@
+//! Figures 8 and 9: acoustic modeling 2D/3D under the CRAY compiler —
+//! `kernels` construct vs explicit `parallel gang/worker/vector`.
+
+use repro::figures::fig8_9;
+use seismic_model::footprint::Dims;
+
+fn main() {
+    for (dims, fig) in [(Dims::Two, 8), (Dims::Three, 9)] {
+        println!(
+            "Figure {fig}: Acoustic Modeling {} (CRAY compiler) — time for 200 steps",
+            if dims == Dims::Two { "2D" } else { "3D" }
+        );
+        println!("  {:>8} {:>14} {:>14} {:>8}", "grid", "kernels (s)", "parallel (s)", "ratio");
+        for (n, k, p) in fig8_9(dims) {
+            println!("  {:>8} {:>14.2} {:>14.2} {:>8.2}", n, k, p, k / p);
+        }
+        println!();
+    }
+    println!("Shape: \"Using the gang/worker/vector paradigm associated with the");
+    println!("parallel directive gave the best performance\" under CRAY.");
+}

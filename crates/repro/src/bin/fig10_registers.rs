@@ -1,0 +1,16 @@
+//! Figure 10: elastic modeling 3D — performance vs `maxregcount`
+//! (occupancy vs register-spill balance; the paper's best is 64).
+
+use repro::figures::fig10;
+
+fn main() {
+    println!("Figure 10: Elastic Modeling 3D — total time vs registers per thread");
+    println!("  {:>6} {:>12} {:>14}", "regs", "K40 (s)", "M2090 (s)");
+    let series = fig10();
+    for (m, k40, m2090) in &series {
+        println!("  {:>6} {:>12.1} {:>14.1}", m, k40, m2090);
+    }
+    let best = series.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    println!("\nK40 optimum: maxregcount:{best} — \"The best number of registers per");
+    println!("thread was found to be 64 in all implemented cases on both ... cards\".");
+}

@@ -1,0 +1,21 @@
+//! Print the simulated evaluation platform (Tables 1 and 2 of the paper).
+
+use accel_sim::DeviceSpec;
+use mpi_sim::{CpuSpec, Interconnect};
+use rtm_core::case::Cluster;
+
+fn main() {
+    println!("Evaluation platform (simulated; constants from Tables 1/2):\n");
+    for cluster in [Cluster::CrayXc30, Cluster::Ibm] {
+        let d: DeviceSpec = cluster.device();
+        let c: CpuSpec = cluster.cpu();
+        let n: Interconnect = cluster.interconnect();
+        println!("[{}]", cluster.label());
+        println!("  GPU: {} — {} cores, {:.0} GFLOPS SP, {:.0} GB/s, {} GB, regs/thread <= {}",
+            d.name, d.cuda_cores, d.peak_gflops_sp, d.mem_bandwidth_gbs,
+            d.global_mem_bytes >> 30, d.max_regs_per_thread);
+    println!("  CPU: {} — {} ranks in the full-socket baseline", c.name, cluster.baseline_ranks());
+        println!("  Net: {} — {:.1} us latency, {:.0} GB/s", n.name, n.latency_s * 1e6, n.bandwidth_bs / 1e9);
+        println!();
+    }
+}

@@ -1,0 +1,99 @@
+//! One-page reproduction dashboard: every table/figure shape check, its
+//! status, and the headline modeled-vs-paper numbers.
+
+use openacc_sim::PgiVersion;
+use repro::figures;
+use repro::table::{model_table, table3_shape_checks, table4_shape_checks, TableKind};
+
+fn section(name: &str, checks: Vec<(&'static str, bool)>) -> (usize, usize) {
+    println!("{name}");
+    let mut pass = 0;
+    let total = checks.len();
+    for (label, ok) in checks {
+        println!("  [{}] {label}", if ok { "PASS" } else { "FAIL" });
+        pass += usize::from(ok);
+    }
+    println!();
+    (pass, total)
+}
+
+fn main() {
+    println!("acc-rtm reproduction dashboard\n==============================\n");
+    let mut pass = 0;
+    let mut total = 0;
+
+    let (p, t) = section("Table 3 (modeling)", table3_shape_checks());
+    pass += p;
+    total += t;
+    let (p, t) = section("Table 4 (RTM)", table4_shape_checks());
+    pass += p;
+    total += t;
+
+    // Figure shapes, re-derived from the figure series.
+    let f7 = figures::fig6_7(PgiVersion::V14_3);
+    let f6 = figures::fig6_7(PgiVersion::V14_6);
+    let f89_ok = figures::fig8_9(seismic_model::footprint::Dims::Three)
+        .iter()
+        .all(|(_, k, p)| p < k);
+    let f10 = figures::fig10();
+    let best10 = f10.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    let (sync_s, async_s, _) = figures::fig11();
+    let ((ff, fi), (kf, ki)) = figures::fig12();
+    let ((fd, ft), (kd, kt)) = figures::fig13();
+    let (_, cpu_share, gpu_prof, _) = figures::fig14_15();
+    let (p, t) = section(
+        "Figures",
+        vec![
+            (
+                "Fig 6: restructuring ~neutral under PGI 14.6",
+                (f6[0].1 / f6[1].1) < 1.15,
+            ),
+            (
+                "Fig 7: restructuring wins under PGI 14.3",
+                f7[1].1 < 0.8 * f7[0].1,
+            ),
+            ("Fig 8/9: parallel beats kernels under CRAY", f89_ok),
+            ("Fig 10: maxregcount 64 optimal on the K40", best10 == 64),
+            (
+                "Fig 11: CRAY async saves 10-45 %",
+                {
+                    let g = 1.0 - async_s / sync_s;
+                    (0.10..0.45).contains(&g)
+                },
+            ),
+            (
+                "Fig 12: fission >2x on Fermi, <1.3x on Kepler",
+                ff / fi > 2.0 && kf / ki < 1.3,
+            ),
+            (
+                "Fig 13: transposition 2-6x on both cards",
+                (2.0..6.0).contains(&(fd / ft)) && (2.0..6.0).contains(&(kd / kt)),
+            ),
+            (
+                "Fig 14/15: main kernel dominates; imaging kernel on GPU",
+                cpu_share > 0.5 && gpu_prof.contains("imaging_condition"),
+            ),
+        ],
+    );
+    pass += p;
+    total += t;
+
+    // Headline numbers.
+    let t3 = model_table(TableKind::Modeling);
+    let t4 = model_table(TableKind::Rtm);
+    println!("Headlines (modeled / paper)");
+    println!(
+        "  best modeling speedup (elastic 3D, PGI on CRAY): {:.1}x / 2.7x",
+        t3[5].cray_speedup_pgi.unwrap_or(0.0)
+    );
+    println!(
+        "  acoustic 3D RTM speedup on IBM:                  {:.1}x / 10.2x",
+        t4[4].ibm_speedup.unwrap_or(0.0)
+    );
+    println!(
+        "  isotropic 3D modeling kernel time (PGI/K40):     {:.0}s / 285s",
+        t3[3].cray_kernel_pgi.unwrap_or(0.0)
+    );
+    println!("\n{pass}/{total} shape checks pass");
+    std::process::exit(if pass == total { 0 } else { 1 });
+}

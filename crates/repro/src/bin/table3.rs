@@ -1,0 +1,15 @@
+//! Regenerate Table 3 (seismic modeling timing and speedup) and check its
+//! qualitative shape against the paper.
+
+use repro::table::{render_comparison, table3_shape_checks, TableKind};
+
+fn main() {
+    print!("{}", render_comparison(TableKind::Modeling));
+    println!("\nShape checks:");
+    let mut ok = true;
+    for (name, pass) in table3_shape_checks() {
+        println!("  [{}] {}", if pass { "PASS" } else { "FAIL" }, name);
+        ok &= pass;
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

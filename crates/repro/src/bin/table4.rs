@@ -1,0 +1,15 @@
+//! Regenerate Table 4 (RTM timing and speedup) and check its qualitative
+//! shape against the paper.
+
+use repro::table::{render_comparison, table4_shape_checks, TableKind};
+
+fn main() {
+    print!("{}", render_comparison(TableKind::Rtm));
+    println!("\nShape checks:");
+    let mut ok = true;
+    for (name, pass) in table4_shape_checks() {
+        println!("  [{}] {}", if pass { "PASS" } else { "FAIL" }, name);
+        ok &= pass;
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

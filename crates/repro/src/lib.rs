@@ -1,0 +1,27 @@
+//! # repro
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation from the simulation stack.
+//!
+//! * [`paper`] — the published numbers of Tables 3 and 4, cell by cell,
+//! * [`cases`] — the calibrated production-scale workload for each of the
+//!   twelve seismic cases (the paper never states its grid sizes; these are
+//!   chosen once, documented, and used for every experiment),
+//! * [`table`] — Table 3/4 generation with paper-vs-model comparison,
+//! * [`figures`] — data series for Figures 6–15,
+//! * [`render`] — ASCII / PGM rendering of wavefields and images
+//!   (Figures 3 and 5).
+//!
+//! [`ablation`] adds studies of the design choices DESIGN.md calls out
+//! (working tile/cache clauses, pinned memory, partial transfers, C-PML
+//! width).
+//!
+//! Each table/figure has a binary under `src/bin/`; see DESIGN.md for the
+//! experiment index.
+
+pub mod ablation;
+pub mod cases;
+pub mod figures;
+pub mod paper;
+pub mod render;
+pub mod table;

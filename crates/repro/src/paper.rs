@@ -1,0 +1,131 @@
+//! The published evaluation numbers, transcribed from the paper.
+//!
+//! `None` encodes the paper's `X` cells (elastic did not fit the 6 GB Fermi
+//! card; the CRAY-compiled elastic-3D RTM build failed). Values are seconds
+//! for times and ratios for speedups.
+
+use seismic_model::footprint::{Dims, Formulation};
+
+/// One row of Table 3 or Table 4 as printed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Row case.
+    pub formulation: Formulation,
+    /// Row dimensionality.
+    pub dims: Dims,
+    /// CRAY cluster, CRAY compiler: total GPU time (s).
+    pub cray_total_cray: Option<f64>,
+    /// CRAY cluster, PGI compiler: total GPU time (s).
+    pub cray_total_pgi: Option<f64>,
+    /// Total speedup, CRAY compiler vs 10-core baseline.
+    pub cray_speedup_cray: Option<f64>,
+    /// Total speedup, PGI compiler vs 10-core baseline.
+    pub cray_speedup_pgi: Option<f64>,
+    /// CRAY cluster, CRAY compiler: kernels time (s).
+    pub cray_kernel_cray: Option<f64>,
+    /// CRAY cluster, PGI compiler: kernels time (s).
+    pub cray_kernel_pgi: Option<f64>,
+    /// Kernel speedup, CRAY compiler.
+    pub cray_kspeedup_cray: Option<f64>,
+    /// Kernel speedup, PGI compiler.
+    pub cray_kspeedup_pgi: Option<f64>,
+    /// IBM cluster (PGI): total GPU time (s).
+    pub ibm_total: Option<f64>,
+    /// IBM total speedup vs 8-core baseline.
+    pub ibm_speedup: Option<f64>,
+    /// IBM kernels time (s).
+    pub ibm_kernel: Option<f64>,
+    /// IBM kernel speedup.
+    pub ibm_kspeedup: Option<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn row(
+    formulation: Formulation,
+    dims: Dims,
+    v: [Option<f64>; 12],
+) -> PaperRow {
+    PaperRow {
+        formulation,
+        dims,
+        cray_total_cray: v[0],
+        cray_total_pgi: v[1],
+        cray_speedup_cray: v[2],
+        cray_speedup_pgi: v[3],
+        cray_kernel_cray: v[4],
+        cray_kernel_pgi: v[5],
+        cray_kspeedup_cray: v[6],
+        cray_kspeedup_pgi: v[7],
+        ibm_total: v[8],
+        ibm_speedup: v[9],
+        ibm_kernel: v[10],
+        ibm_kspeedup: v[11],
+    }
+}
+
+const S: fn(f64) -> Option<f64> = Some;
+
+/// Table 3: seismic modeling timing and speedup measurements.
+pub fn table3() -> [PaperRow; 6] {
+    use Dims::*;
+    use Formulation::*;
+    [
+        row(Isotropic, Two, [S(2.3), S(1.4), S(0.6), S(1.0), S(1.6), S(1.0), S(0.7), S(1.1), S(2.0), S(2.0), S(1.5), S(2.3)]),
+        row(Acoustic, Two, [S(4.1), S(3.2), S(0.7), S(0.9), S(3.4), S(2.7), S(0.9), S(1.1), S(5.0), S(1.3), S(4.4), S(1.2)]),
+        row(Elastic, Two, [S(7.0), S(4.5), S(0.9), S(1.2), S(6.6), S(4.3), S(0.7), S(1.1), S(7.0), S(1.9), S(4.8), S(2.4)]),
+        row(Isotropic, Three, [S(460.0), S(365.0), S(1.0), S(1.3), S(365.0), S(285.0), S(0.9), S(1.2), S(448.0), S(1.2), S(385.0), S(1.0)]),
+        row(Acoustic, Three, [S(310.0), S(235.0), S(1.5), S(2.0), S(220.0), S(155.0), S(1.2), S(1.7), S(260.0), S(2.3), S(200.0), S(2.3)]),
+        row(Elastic, Three, [S(4000.0), S(3200.0), S(2.1), S(2.7), S(3100.0), S(2700.0), S(2.4), S(2.7), None, None, None, None]),
+    ]
+}
+
+/// Table 4: RTM timing and speedup measurements.
+pub fn table4() -> [PaperRow; 6] {
+    use Dims::*;
+    use Formulation::*;
+    [
+        row(Isotropic, Two, [S(8.5), S(14.0), S(0.4), S(0.2), S(2.0), S(2.3), S(1.2), S(1.0), S(11.5), S(0.5), S(4.0), S(1.3)]),
+        row(Acoustic, Two, [S(12.2), S(16.0), S(1.2), S(0.9), S(4.5), S(5.6), S(2.4), S(2.0), S(19.0), S(5.3), S(9.0), S(7.9)]),
+        row(Elastic, Two, [S(20.0), S(23.0), S(0.8), S(0.7), S(7.0), S(8.0), S(1.7), S(1.5), S(30.0), S(1.1), S(12.0), S(2.3)]),
+        row(Isotropic, Three, [S(1600.0), S(1500.0), S(0.6), S(0.6), S(600.0), S(550.0), S(1.1), S(1.2), S(1200.0), S(0.9), S(800.0), S(1.1)]),
+        row(Acoustic, Three, [S(870.0), S(765.0), S(1.1), S(1.3), S(320.0), S(310.0), S(1.3), S(1.3), S(530.0), S(10.2), S(400.0), S(10.8)]),
+        row(Elastic, Three, [None, S(15000.0), None, S(1.3), None, S(6000.0), None, S(2.9), None, None, None, None]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_six_cases_in_order() {
+        for t in [table3(), table4()] {
+            assert_eq!(t[0].dims, Dims::Two);
+            assert_eq!(t[3].dims, Dims::Three);
+            assert_eq!(t[0].formulation, Formulation::Isotropic);
+            assert_eq!(t[5].formulation, Formulation::Elastic);
+        }
+    }
+
+    #[test]
+    fn x_cells_match_the_paper() {
+        // Table 3: elastic 3D unavailable on the IBM/Fermi side only.
+        let t3 = table3();
+        assert!(t3[5].ibm_total.is_none());
+        assert!(t3[5].cray_total_pgi.is_some());
+        // Table 4: elastic 3D additionally lacks the CRAY-compiled build.
+        let t4 = table4();
+        assert!(t4[5].cray_total_cray.is_none());
+        assert!(t4[5].cray_total_pgi.is_some());
+        assert!(t4[5].ibm_total.is_none());
+    }
+
+    #[test]
+    fn headline_numbers_present() {
+        // The abstract's ~10x acoustic RTM speedup on IBM.
+        assert_eq!(table4()[4].ibm_speedup, Some(10.2));
+        assert_eq!(table4()[4].ibm_kspeedup, Some(10.8));
+        // Best modeling speedup 2.7x (elastic 3D, PGI on CRAY).
+        assert_eq!(table3()[5].cray_speedup_pgi, Some(2.7));
+    }
+}

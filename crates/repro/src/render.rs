@@ -1,0 +1,119 @@
+//! Wavefield and image rendering: ASCII art for the terminal (Figures 3
+//! and 5) and binary PGM files for external viewers.
+
+use seismic_grid::Field2;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Symmetric grayscale ramp used by the ASCII renderer.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Downsample and normalise a field into an ASCII block of about `cols` columns.
+///
+/// Amplitudes are mapped symmetrically around zero (seismic display
+/// convention) with a gain so weak arrivals stay visible.
+pub fn ascii_field(f: &Field2, cols: usize, gain: f32) -> String {
+    let e = f.extent();
+    let cols = cols.clamp(8, e.nx);
+    let step = (e.nx / cols).max(1);
+    // Terminal cells are ~2x taller than wide.
+    let zstep = (2 * step).max(1);
+    let peak = f.max_abs().max(1e-30);
+    let mut out = String::new();
+    let mut iz = 0;
+    while iz < e.nz {
+        let mut ix = 0;
+        while ix < e.nx {
+            // Block max-abs preserves thin events under downsampling.
+            let mut v = 0.0f32;
+            for dz in 0..zstep.min(e.nz - iz) {
+                for dx in 0..step.min(e.nx - ix) {
+                    let x = f.get(ix + dx, iz + dz);
+                    if x.abs() > v.abs() {
+                        v = x;
+                    }
+                }
+            }
+            // Perceptual compression: weak arrivals stay visible next to
+            // the near-source peak (seismic plotting convention).
+            let a = ((v.abs() / peak) * gain).powf(0.6).min(1.0);
+            let idx = ((a * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+            ix += step;
+        }
+        out.push('\n');
+        iz += zstep;
+    }
+    out
+}
+
+/// Write a field as a binary 8-bit PGM (portable graymap), amplitude
+/// mapped symmetrically: 128 = zero, 0/255 = ±peak.
+pub fn write_pgm(f: &Field2, path: &Path) -> std::io::Result<()> {
+    let e = f.extent();
+    let peak = f.max_abs().max(1e-30);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "P5")?;
+    writeln!(file, "{} {}", e.nx, e.nz)?;
+    writeln!(file, "255")?;
+    let mut row = Vec::with_capacity(e.nx);
+    for iz in 0..e.nz {
+        row.clear();
+        for ix in 0..e.nx {
+            let v = f.get(ix, iz) / peak; // [-1, 1]
+            let g = ((v * 0.5 + 0.5) * 255.0).clamp(0.0, 255.0) as u8;
+            row.push(g);
+        }
+        file.write_all(&row)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seismic_grid::Extent2;
+
+    fn bump() -> Field2 {
+        let e = Extent2::new(64, 64, 4);
+        Field2::from_fn(e, |ix, iz| {
+            let dx = ix as f32 - 32.0;
+            let dz = iz as f32 - 32.0;
+            (-(dx * dx + dz * dz) / 50.0).exp()
+        })
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let s = ascii_field(&bump(), 32, 1.0);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 8);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        // Center is bright, corners dark.
+        let mid = lines[lines.len() / 2];
+        assert_eq!(mid.as_bytes()[0], b' ');
+        assert!(mid.contains('@'));
+    }
+
+    #[test]
+    fn ascii_handles_zero_field() {
+        let e = Extent2::new(16, 16, 2);
+        let s = ascii_field(&Field2::zeros(e), 16, 1.0);
+        assert!(s.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn pgm_roundtrip_header_and_size() {
+        let dir = std::env::temp_dir().join("acc_rtm_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bump.pgm");
+        write_pgm(&bump(), &p).unwrap();
+        let data = std::fs::read(&p).unwrap();
+        assert!(data.starts_with(b"P5\n64 64\n255\n"));
+        assert_eq!(data.len(), 13 + 64 * 64);
+        // Center pixel much brighter than the corner.
+        let pix = &data[13..];
+        assert!(pix[32 * 64 + 32] > pix[0] + 100);
+        std::fs::remove_file(&p).ok();
+    }
+}

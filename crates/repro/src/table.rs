@@ -1,0 +1,278 @@
+//! Table 3 / Table 4 regeneration and paper-vs-model comparison.
+
+use crate::cases::table_workload;
+use crate::paper::{self, PaperRow};
+use openacc_sim::{Compiler, PgiVersion};
+use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase};
+use rtm_core::cpu_time::{modeling_cpu_time, rtm_cpu_time, CpuBreakdown};
+use rtm_core::gpu_time::{modeling_time, rtm_time, GpuRun};
+use seismic_model::footprint::{Dims, Formulation};
+
+/// Which table to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Table 3: forward modeling.
+    Modeling,
+    /// Table 4: Reverse Time Migration.
+    Rtm,
+}
+
+/// The compiler used for each table column.
+pub const CRAY_COMPILER: Compiler = Compiler::Cray;
+/// PGI on the CRAY cluster (CUDA 5.5 per Section 6).
+pub const PGI_ON_CRAY: Compiler = Compiler::Pgi(PgiVersion::V14_6);
+/// PGI on the IBM cluster (CUDA 5.0 per Section 6).
+pub const PGI_ON_IBM: Compiler = Compiler::Pgi(PgiVersion::V14_3);
+
+fn gpu_run(
+    kind: TableKind,
+    case: &SeismicCase,
+    compiler: Compiler,
+    cluster: Cluster,
+) -> Option<GpuRun> {
+    // Reproduce the paper's Table 4 `X`: the CRAY-compiled elastic 3D RTM
+    // binary was not available (only the PGI build ran on the K40).
+    if kind == TableKind::Rtm
+        && compiler == CRAY_COMPILER
+        && case.formulation == Formulation::Elastic
+        && case.dims == Dims::Three
+    {
+        return None;
+    }
+    let config = OptimizationConfig::default();
+    let w = table_workload(case);
+    let r = match kind {
+        TableKind::Modeling => modeling_time(case, &config, compiler, cluster, &w),
+        TableKind::Rtm => rtm_time(case, &config, compiler, cluster, &w),
+    };
+    r.ok()
+}
+
+fn cpu_baseline(kind: TableKind, case: &SeismicCase, cluster: Cluster) -> CpuBreakdown {
+    let w = table_workload(case);
+    match kind {
+        TableKind::Modeling => modeling_cpu_time(case, cluster, &w),
+        TableKind::Rtm => rtm_cpu_time(case, cluster, &w),
+    }
+}
+
+/// Compute the modeled row for one case.
+pub fn model_row(kind: TableKind, case: &SeismicCase) -> PaperRow {
+    let cray_cpu = cpu_baseline(kind, case, Cluster::CrayXc30);
+    let ibm_cpu = cpu_baseline(kind, case, Cluster::Ibm);
+
+    let cray_cray = gpu_run(kind, case, CRAY_COMPILER, Cluster::CrayXc30);
+    let cray_pgi = gpu_run(kind, case, PGI_ON_CRAY, Cluster::CrayXc30);
+    let ibm_pgi = gpu_run(kind, case, PGI_ON_IBM, Cluster::Ibm);
+
+    let total = |r: &Option<GpuRun>| r.as_ref().map(|g| g.breakdown.total_s);
+    let kernel = |r: &Option<GpuRun>| r.as_ref().map(|g| g.breakdown.kernel_s);
+    let sp = |t: Option<f64>, cpu: f64| t.map(|t| cpu / t);
+
+    PaperRow {
+        formulation: case.formulation,
+        dims: case.dims,
+        cray_total_cray: total(&cray_cray),
+        cray_total_pgi: total(&cray_pgi),
+        cray_speedup_cray: sp(total(&cray_cray), cray_cpu.total_s()),
+        cray_speedup_pgi: sp(total(&cray_pgi), cray_cpu.total_s()),
+        cray_kernel_cray: kernel(&cray_cray),
+        cray_kernel_pgi: kernel(&cray_pgi),
+        cray_kspeedup_cray: sp(kernel(&cray_cray), cray_cpu.kernel_s),
+        cray_kspeedup_pgi: sp(kernel(&cray_pgi), cray_cpu.kernel_s),
+        ibm_total: total(&ibm_pgi),
+        ibm_speedup: sp(total(&ibm_pgi), ibm_cpu.total_s()),
+        ibm_kernel: kernel(&ibm_pgi),
+        ibm_kspeedup: sp(kernel(&ibm_pgi), ibm_cpu.kernel_s),
+    }
+}
+
+/// The full modeled table, one row per seismic case.
+pub fn model_table(kind: TableKind) -> Vec<PaperRow> {
+    SeismicCase::all()
+        .iter()
+        .map(|c| model_row(kind, c))
+        .collect()
+}
+
+fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x >= 100.0 => format!("{x:7.0}"),
+        Some(x) if x >= 10.0 => format!("{x:7.1}"),
+        Some(x) => format!("{x:7.2}"),
+        None => format!("{:>7}", "X"),
+    }
+}
+
+/// Render a paper-vs-model comparison table.
+pub fn render_comparison(kind: TableKind) -> String {
+    let modeled = model_table(kind);
+    let reference = match kind {
+        TableKind::Modeling => paper::table3(),
+        TableKind::Rtm => paper::table4(),
+    };
+    let title = match kind {
+        TableKind::Modeling => "Table 3: Seismic modeling timing and speedup",
+        TableKind::Rtm => "Table 4: RTM timing and speedup",
+    };
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(
+        "(each cell: modeled value / paper value; times in seconds, speedups vs full-socket MPI)\n\n",
+    );
+    out.push_str(&format!(
+        "{:14} | {:>15} {:>15} {:>15} {:>15} | {:>15} {:>15}\n",
+        "", "CRAYcl total", "CRAYcl speedup", "CRAYcl kernel", "CRAYcl kspeed", "IBM total", "IBM speedup"
+    ));
+    out.push_str(&format!(
+        "{:14} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>15} {:>15}\n",
+        "Model", "CRAY", "PGI", "CRAY", "PGI", "CRAY", "PGI", "CRAY", "PGI", "PGI", "PGI"
+    ));
+    for (m, p) in modeled.iter().zip(reference.iter()) {
+        let case = SeismicCase {
+            formulation: m.formulation,
+            dims: m.dims,
+        };
+        out.push_str(&format!("{:14} |", case.label()));
+        for (mv, pv) in [
+            (m.cray_total_cray, p.cray_total_cray),
+            (m.cray_total_pgi, p.cray_total_pgi),
+            (m.cray_speedup_cray, p.cray_speedup_cray),
+            (m.cray_speedup_pgi, p.cray_speedup_pgi),
+            (m.cray_kernel_cray, p.cray_kernel_cray),
+            (m.cray_kernel_pgi, p.cray_kernel_pgi),
+            (m.cray_kspeedup_cray, p.cray_kspeedup_cray),
+            (m.cray_kspeedup_pgi, p.cray_kspeedup_pgi),
+            (m.ibm_total, p.ibm_total),
+            (m.ibm_speedup, p.ibm_speedup),
+            (m.ibm_kernel, p.ibm_kernel),
+            (m.ibm_kspeedup, p.ibm_kspeedup),
+        ] {
+            out.push_str(&format!(" {}/{}", cell(mv).trim(), cell(pv).trim()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One named shape criterion and whether the model satisfies it.
+pub type ShapeCheck = (&'static str, bool);
+
+/// The qualitative claims of Table 3 that the reproduction must preserve.
+pub fn table3_shape_checks() -> Vec<ShapeCheck> {
+    let t = model_table(TableKind::Modeling);
+    let (iso2, ac2, el2, iso3, ac3, el3) = (&t[0], &t[1], &t[2], &t[3], &t[4], &t[5]);
+    vec![
+        (
+            "elastic 3D is the best PGI-on-CRAY modeling speedup",
+            el3.cray_speedup_pgi.unwrap_or(0.0)
+                > iso3.cray_speedup_pgi.unwrap_or(0.0).max(ac3.cray_speedup_pgi.unwrap_or(0.0)),
+        ),
+        (
+            "isotropic 3D is the worst 3D modeling speedup (memory-bound)",
+            iso3.cray_speedup_pgi.unwrap_or(9.9) < ac3.cray_speedup_pgi.unwrap_or(0.0),
+        ),
+        (
+            "elastic 3D OOMs on Fermi (X) but runs on Kepler",
+            el3.ibm_total.is_none() && el3.cray_total_pgi.is_some(),
+        ),
+        (
+            "kernel speedup >= total speedup (transfers only hurt)",
+            t.iter().all(|r| {
+                match (r.cray_kspeedup_pgi, r.cray_speedup_pgi) {
+                    (Some(k), Some(s)) => k >= s * 0.95,
+                    _ => true,
+                }
+            }),
+        ),
+        (
+            "acoustic 3D GPU time is about half of isotropic 3D (paper: 2x)",
+            {
+                let r = iso3.cray_total_pgi.unwrap_or(0.0) / ac3.cray_total_pgi.unwrap_or(1.0);
+                r > 1.3 && r < 2.8
+            },
+        ),
+        (
+            "PGI beats CRAY compiler on every total (Section 6.1)",
+            t.iter().all(|r| match (r.cray_total_cray, r.cray_total_pgi) {
+                (Some(c), Some(p)) => c > p,
+                _ => true,
+            }),
+        ),
+        (
+            "2D cases give small speedups (lack of computations)",
+            [iso2, ac2, el2]
+                .iter()
+                .all(|r| r.cray_speedup_pgi.unwrap_or(9.9) < 2.0),
+        ),
+    ]
+}
+
+/// The qualitative claims of Table 4 that the reproduction must preserve.
+pub fn table4_shape_checks() -> Vec<ShapeCheck> {
+    let t = model_table(TableKind::Rtm);
+    let m = model_table(TableKind::Modeling);
+    let (iso2, ac3, el3) = (&t[0], &t[4], &t[5]);
+    let iso3 = &t[3];
+    vec![
+        (
+            "acoustic 3D RTM speedup on IBM is large (paper: 10.2x)",
+            ac3.ibm_speedup.unwrap_or(0.0) > 4.0,
+        ),
+        (
+            "acoustic 3D RTM speedup on CRAY stays small (paper: 1.3x)",
+            ac3.cray_speedup_pgi.unwrap_or(9.9) < 2.5,
+        ),
+        (
+            "IBM RTM speedup far exceeds CRAY for acoustic 3D",
+            ac3.ibm_speedup.unwrap_or(0.0) > 3.0 * ac3.cray_speedup_pgi.unwrap_or(9.9),
+        ),
+        (
+            "isotropic RTM total speedups dip below 1 (consistency updates)",
+            iso2.cray_speedup_pgi.unwrap_or(9.9) < 1.0 && iso3.cray_speedup_pgi.unwrap_or(9.9) < 1.0,
+        ),
+        (
+            "elastic 3D RTM: X on CRAY build and on Fermi, runs under PGI/K40",
+            el3.cray_total_cray.is_none()
+                && el3.ibm_total.is_none()
+                && el3.cray_total_pgi.is_some(),
+        ),
+        (
+            "RTM costs more than modeling for every available case",
+            t.iter().zip(m.iter()).all(|(r, f)| {
+                match (r.cray_total_pgi, f.cray_total_pgi) {
+                    (Some(r_), Some(f_)) => r_ > f_,
+                    _ => true,
+                }
+            }),
+        ),
+        (
+            "isotropic RTM is transfer-bound: kernel speedup >> total speedup",
+            iso3.cray_kspeedup_pgi.unwrap_or(0.0) > 1.5 * iso3.cray_speedup_pgi.unwrap_or(9.9),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_rows_have_expected_x_cells() {
+        let t3 = model_table(TableKind::Modeling);
+        assert!(t3[5].ibm_total.is_none());
+        assert!(t3[5].cray_total_pgi.is_some());
+        let t4 = model_table(TableKind::Rtm);
+        assert!(t4[5].cray_total_cray.is_none());
+        assert!(t4[5].ibm_total.is_none());
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let s = render_comparison(TableKind::Modeling);
+        for label in ["ISOTROPIC 2D", "ACOUSTIC 3D", "ELASTIC 3D"] {
+            assert!(s.contains(label), "missing {label}:\n{s}");
+        }
+        assert!(s.contains("/X") || s.contains("X/"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Shot-record processing: the small pre-migration toolbox (tapers, gain,
+//! filtering) that production RTM codes apply between recording and
+//! back-propagation.
+
+use crate::Seismogram;
+
+/// Cosine (Hann) taper over the first and last `n` samples of every trace
+/// — suppresses injection transients at the record's edges.
+pub fn taper_ends(seis: &Seismogram, n: usize) -> Seismogram {
+    let nt = seis.nt();
+    let mut out = Seismogram::zeros(seis.n_receivers(), nt);
+    let n = n.min(nt / 2);
+    for r in 0..seis.n_receivers() {
+        for t in 0..nt {
+            let w = if n == 0 {
+                1.0
+            } else if t < n {
+                let x = t as f32 / n as f32;
+                0.5 * (1.0 - (std::f32::consts::PI * x).cos())
+            } else if t >= nt - n {
+                let x = (nt - 1 - t) as f32 / n as f32;
+                0.5 * (1.0 - (std::f32::consts::PI * x).cos())
+            } else {
+                1.0
+            };
+            out.record(r, t, seis.get(r, t) * w);
+        }
+    }
+    out
+}
+
+/// Automatic gain control: normalise each sample by the RMS of a sliding
+/// window of `half` samples on each side — equalises weak late arrivals
+/// against the strong direct wave for display and QC.
+pub fn agc(seis: &Seismogram, half: usize) -> Seismogram {
+    assert!(half > 0, "AGC window must be positive");
+    let nt = seis.nt();
+    let mut out = Seismogram::zeros(seis.n_receivers(), nt);
+    for r in 0..seis.n_receivers() {
+        let tr = seis.trace(r);
+        // Prefix sums of squares for O(1) window energy.
+        let mut prefix = vec![0.0f64; nt + 1];
+        for (t, &v) in tr.iter().enumerate() {
+            prefix[t + 1] = prefix[t] + (v as f64) * (v as f64);
+        }
+        for (t, &v) in tr.iter().enumerate() {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half + 1).min(nt);
+            let e = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+            let rms = e.sqrt().max(1e-30) as f32;
+            out.record(r, t, v / rms);
+        }
+    }
+    out
+}
+
+/// Simple zero-phase low-pass: forward+backward exponential smoothing with
+/// the 3 dB corner at roughly `fc` for sampling interval `dt` — knocks out
+/// grid-dispersion noise above the usable band before migration.
+pub fn lowpass(seis: &Seismogram, fc: f32, dt: f32) -> Seismogram {
+    assert!(fc > 0.0 && dt > 0.0);
+    let alpha = {
+        let rc = 1.0 / (2.0 * std::f32::consts::PI * fc);
+        dt / (rc + dt)
+    };
+    let nt = seis.nt();
+    let mut out = Seismogram::zeros(seis.n_receivers(), nt);
+    for r in 0..seis.n_receivers() {
+        let tr = seis.trace(r);
+        let mut fwd = vec![0.0f32; nt];
+        let mut acc = 0.0f32;
+        for (t, &v) in tr.iter().enumerate() {
+            acc += alpha * (v - acc);
+            fwd[t] = acc;
+        }
+        // Backward pass zeroes the phase shift.
+        let mut acc = 0.0f32;
+        for t in (0..nt).rev() {
+            acc += alpha * (fwd[t] - acc);
+            out.record(r, t, acc);
+        }
+    }
+    out
+}
+
+/// Peak signal amplitude across the record (QC metric).
+pub fn peak_amplitude(seis: &Seismogram) -> f32 {
+    let mut m = 0.0f32;
+    for r in 0..seis.n_receivers() {
+        for &v in seis.trace(r) {
+            m = m.max(v.abs());
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavelet::ricker;
+
+    fn record_with_events() -> Seismogram {
+        let nt = 400;
+        let dt = 1e-3;
+        let mut s = Seismogram::zeros(3, nt);
+        for r in 0..3 {
+            for t in 0..nt {
+                let tt = t as f32 * dt;
+                // Strong early event + weak late event.
+                let v = 10.0 * ricker(30.0, tt - 0.05) + 0.5 * ricker(30.0, tt - 0.3);
+                s.record(r, t, v);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn taper_zeroes_edges_keeps_middle() {
+        let s = record_with_events();
+        let t = taper_ends(&s, 40);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(0, s.nt() - 1), 0.0);
+        // Mid-record samples untouched.
+        assert_eq!(t.get(1, 200), s.get(1, 200));
+        // Ramp is monotone non-decreasing in weight over the first samples.
+        let w0 = (t.get(0, 5) / s.get(0, 5).max(1e-20)).abs();
+        let w1 = (t.get(0, 20) / s.get(0, 20).max(1e-20)).abs();
+        assert!(w1 >= w0 * 0.99 || s.get(0, 5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agc_equalises_events() {
+        let s = record_with_events();
+        let g = agc(&s, 25);
+        // Before AGC the early event dwarfs the late one.
+        let early_raw = s.get(0, 50).abs();
+        let late_raw = s.get(0, 300).abs();
+        assert!(early_raw > 10.0 * late_raw);
+        // After AGC the two are within a small factor.
+        let early = g.get(0, 50).abs();
+        let late = g.get(0, 300).abs();
+        assert!(early < 4.0 * late, "early {early} vs late {late}");
+        assert!(late < 4.0 * early);
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequencies() {
+        let nt = 512;
+        let dt = 1e-3;
+        let mut s = Seismogram::zeros(1, nt);
+        for t in 0..nt {
+            let tt = t as f32 * dt;
+            // 10 Hz signal + 200 Hz noise.
+            let v = (2.0 * std::f32::consts::PI * 10.0 * tt).sin()
+                + (2.0 * std::f32::consts::PI * 200.0 * tt).sin();
+            s.record(0, t, v);
+        }
+        let f = lowpass(&s, 30.0, dt);
+        // Estimate the residual 200 Hz content by differencing neighbours
+        // (high frequencies dominate the first difference).
+        let hf = |x: &Seismogram| {
+            let tr = x.trace(0);
+            tr.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>()
+        };
+        assert!(hf(&f) < 0.35 * hf(&s), "{} vs {}", hf(&f), hf(&s));
+        // The 10 Hz amplitude survives (within filter rolloff).
+        let mid = f.trace(0)[128..384].iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(mid > 0.5, "signal preserved: {mid}");
+    }
+
+    #[test]
+    fn peak_amplitude_scans_all() {
+        let mut s = Seismogram::zeros(2, 10);
+        s.record(1, 7, -9.5);
+        assert_eq!(peak_amplitude(&s), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "AGC window")]
+    fn agc_rejects_zero_window() {
+        agc(&Seismogram::zeros(1, 10), 0);
+    }
+}

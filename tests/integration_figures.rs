@@ -1,0 +1,100 @@
+//! Integration tests over the figure reproductions: cross-figure
+//! consistency properties that the per-figure unit tests don't cover.
+
+use openacc_sim::PgiVersion;
+use repro::figures;
+
+/// Figures 6 and 7 describe the *same* code under two compiler versions:
+/// the best variant under 14.3 must not beat the best under 14.6 by much
+/// (the paper's tables use the best configuration per compiler), and the
+/// original kernel must be the variant where the versions differ most.
+#[test]
+fn fig6_vs_fig7_version_consistency() {
+    let f6 = figures::fig6_7(PgiVersion::V14_6);
+    let f7 = figures::fig6_7(PgiVersion::V14_3);
+    let best6 = f6.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    let best7 = f7.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    assert!(
+        (best7 / best6) < 1.25,
+        "restructuring recovers most of the 14.3 regression: {best7} vs {best6}"
+    );
+    // Per-variant regression of 14.3 relative to 14.6.
+    let reg: Vec<f64> = f7.iter().zip(f6.iter()).map(|(a, b)| a.1 / b.1).collect();
+    assert!(
+        reg[0] > reg[1] && reg[0] > reg[2],
+        "the branchy original suffers most under CUDA 5.0: {reg:?}"
+    );
+}
+
+/// Figure 8 vs 9: the kernels-vs-parallel gap exists in both 2D and 3D,
+/// and 3D (where the compiler must also pick the vector loop out of three)
+/// is at least as penalised as 2D.
+#[test]
+fn fig8_vs_fig9_gap_grows_with_dims() {
+    use seismic_model::footprint::Dims;
+    let avg = |series: Vec<(usize, f64, f64)>| {
+        let r: f64 = series.iter().map(|(_, k, p)| k / p).sum::<f64>() / series.len() as f64;
+        r
+    };
+    let r2 = avg(figures::fig8_9(Dims::Two));
+    let r3 = avg(figures::fig8_9(Dims::Three));
+    assert!(r2 > 1.1 && r3 > 1.1, "gap exists: 2D {r2}, 3D {r3}");
+    assert!(r3 >= r2 * 0.95, "3D at least comparable: {r3} vs {r2}");
+}
+
+/// Figure 10's register sweep and Figure 12's fission result are two views
+/// of the same register-pressure model: the 16-register cap must hurt the
+/// K40 at least as much as fusing hurts the M2090 is explained by spills.
+#[test]
+fn fig10_and_fig12_are_consistent() {
+    let f10 = figures::fig10();
+    let t16 = f10[0].1;
+    let t64 = f10[2].1;
+    let spill_penalty = t16 / t64;
+    assert!(spill_penalty > 2.0, "16-reg spills are severe: {spill_penalty}");
+    let ((f_fused, f_fiss), _) = figures::fig12();
+    let fermi_fission_gain = f_fused / f_fiss;
+    // Both numbers come from spill traffic; both must land in the 2-6x band.
+    assert!((2.0..6.0).contains(&fermi_fission_gain));
+    assert!((2.0..8.0).contains(&spill_penalty));
+}
+
+/// The figure-11 async gain must also show up as the best-config default:
+/// the table pipeline runs elastic with async on, and turning it off can
+/// only slow the elastic 2D case down.
+#[test]
+fn fig11_gain_consistent_with_config_default() {
+    let (sync_s, async_s, _) = figures::fig11();
+    assert!(async_s < sync_s);
+    let cfg = rtm_core::case::OptimizationConfig::default();
+    assert!(cfg.async_streams, "best config keeps async on");
+}
+
+/// Figure 13's win comes from coalescing, not from arithmetic changes: the
+/// transposed pipeline executes *more* kernels yet finishes faster.
+#[test]
+fn fig13_wins_despite_extra_kernels() {
+    use seismic_prop::TransposeVariant;
+    let direct = seismic_prop::desc::acoustic2d(TransposeVariant::Direct);
+    let transposed = seismic_prop::desc::acoustic2d(TransposeVariant::Transposed);
+    assert!(transposed.len() > direct.len());
+    let ((f_dir, f_tr), (k_dir, k_tr)) = figures::fig13();
+    assert!(f_tr < f_dir && k_tr < k_dir);
+}
+
+/// Figures 14/15 profiler renderings carry the layout of the paper's
+/// screenshots: memcpy rows, compute section, percentage-tagged kernels.
+#[test]
+fn fig14_15_profiler_layout() {
+    let (cpu_prof, _, gpu_prof, _) = figures::fig14_15();
+    for prof in [&cpu_prof, &gpu_prof] {
+        assert!(prof.contains("MemCpy (HtoD)"));
+        assert!(prof.contains("MemCpy (DtoH)"));
+        assert!(prof.contains("Compute"));
+        assert!(prof.contains('%'));
+    }
+    // The GPU-imaging run adds the imaging kernel; the CPU-imaging run
+    // instead pays extra DtoH traffic. Both list the injection kernels.
+    assert!(gpu_prof.contains("imaging_condition"));
+    assert!(cpu_prof.contains("source_injection"));
+}

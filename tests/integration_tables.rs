@@ -1,0 +1,136 @@
+//! Integration tests over the Table 3 / Table 4 reproductions: every
+//! qualitative claim the paper's evaluation makes must hold in the model,
+//! and the modeled magnitudes must stay within a defensible band of the
+//! published numbers.
+
+use repro::paper;
+use repro::table::{
+    model_table, render_comparison, table3_shape_checks, table4_shape_checks, TableKind,
+};
+
+#[test]
+fn table3_shape_checks_all_pass() {
+    for (name, pass) in table3_shape_checks() {
+        assert!(pass, "Table 3 shape violated: {name}");
+    }
+}
+
+#[test]
+fn table4_shape_checks_all_pass() {
+    for (name, pass) in table4_shape_checks() {
+        assert!(pass, "Table 4 shape violated: {name}");
+    }
+}
+
+/// Absolute sanity: every modeled non-X time sits within 4x of the paper's
+/// number — our substrate is a simulator, not the authors' testbed, but
+/// the magnitudes must stay in the same regime.
+#[test]
+fn modeled_magnitudes_within_band() {
+    for (kind, reference) in [
+        (TableKind::Modeling, paper::table3()),
+        (TableKind::Rtm, paper::table4()),
+    ] {
+        let modeled = model_table(kind);
+        for (m, p) in modeled.iter().zip(reference.iter()) {
+            for (label, mv, pv) in [
+                ("cray total (PGI)", m.cray_total_pgi, p.cray_total_pgi),
+                ("cray kernel (PGI)", m.cray_kernel_pgi, p.cray_kernel_pgi),
+                ("ibm total", m.ibm_total, p.ibm_total),
+                ("ibm kernel", m.ibm_kernel, p.ibm_kernel),
+            ] {
+                if let (Some(mv), Some(pv)) = (mv, pv) {
+                    let ratio = mv / pv;
+                    assert!(
+                        (0.25..=4.0).contains(&ratio),
+                        "{kind:?} {} {}: modeled {mv:.1}s vs paper {pv:.1}s (x{ratio:.2})",
+                        m.formulation.label(),
+                        label
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// X-cell agreement: the model is unavailable exactly where the paper
+/// printed X.
+#[test]
+fn x_cells_agree_with_paper() {
+    for (kind, reference) in [
+        (TableKind::Modeling, paper::table3()),
+        (TableKind::Rtm, paper::table4()),
+    ] {
+        let modeled = model_table(kind);
+        for (m, p) in modeled.iter().zip(reference.iter()) {
+            assert_eq!(
+                m.ibm_total.is_none(),
+                p.ibm_total.is_none(),
+                "{kind:?} {}: IBM availability",
+                m.formulation.label()
+            );
+            assert_eq!(
+                m.cray_total_cray.is_none(),
+                p.cray_total_cray.is_none(),
+                "{kind:?} {}: CRAY-compiler availability",
+                m.formulation.label()
+            );
+        }
+    }
+}
+
+/// Speedup *directions* agree with the paper cell-by-cell where both are
+/// available: whoever wins in the paper (GPU above/below the CPU baseline)
+/// wins in the model. A band around 1.0 is treated as a tie.
+#[test]
+fn speedup_directions_agree() {
+    let mut checked = 0;
+    let mut agreements = 0;
+    for (kind, reference) in [
+        (TableKind::Modeling, paper::table3()),
+        (TableKind::Rtm, paper::table4()),
+    ] {
+        let modeled = model_table(kind);
+        for (m, p) in modeled.iter().zip(reference.iter()) {
+            for (mv, pv) in [
+                (m.cray_speedup_pgi, p.cray_speedup_pgi),
+                (m.ibm_speedup, p.ibm_speedup),
+            ] {
+                if let (Some(mv), Some(pv)) = (mv, pv) {
+                    // Tie band: published speedups of 0.8–1.25 are noise.
+                    if !(0.8..=1.25).contains(&pv) {
+                        checked += 1;
+                        if (mv > 1.0) == (pv > 1.0) {
+                            agreements += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked >= 8, "enough decisive cells: {checked}");
+    let frac = agreements as f64 / checked as f64;
+    assert!(
+        frac >= 0.8,
+        "win/lose direction agreement {agreements}/{checked}"
+    );
+}
+
+/// The rendered comparison includes every row and both value kinds.
+#[test]
+fn renderings_are_complete() {
+    for kind in [TableKind::Modeling, TableKind::Rtm] {
+        let s = render_comparison(kind);
+        for label in [
+            "ISOTROPIC 2D",
+            "ACOUSTIC 2D",
+            "ELASTIC 2D",
+            "ISOTROPIC 3D",
+            "ACOUSTIC 3D",
+            "ELASTIC 3D",
+        ] {
+            assert!(s.contains(label), "{kind:?} missing {label}");
+        }
+        assert!(s.contains('X'), "{kind:?} must show X cells");
+    }
+}
