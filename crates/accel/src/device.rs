@@ -75,7 +75,7 @@ impl DeviceSpec {
             warp_size: 32,
             launch_overhead_s: 8e-6,
             issue_gap_s: 45e-6,
-            pcie_pinned_gbs: 6.0,   // PCIe 2.0 x16 dedicated (Table 1)
+            pcie_pinned_gbs: 6.0, // PCIe 2.0 x16 dedicated (Table 1)
             pcie_pageable_gbs: 2.8,
             pcie_latency_s: 12e-6,
             async_streams: 16,
@@ -98,7 +98,7 @@ impl DeviceSpec {
             warp_size: 32,
             launch_overhead_s: 6e-6,
             issue_gap_s: 40e-6,
-            pcie_pinned_gbs: 10.0,  // PCIe 3.0 x16
+            pcie_pinned_gbs: 10.0, // PCIe 3.0 x16
             pcie_pageable_gbs: 4.0,
             pcie_latency_s: 10e-6,
             async_streams: 32,

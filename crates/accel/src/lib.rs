@@ -24,9 +24,13 @@
 //! * **Streams** ([`stream`]) — serialized vs async kernel issue, the
 //!   mechanism behind the CRAY 30 % async win (Figure 11),
 //! * **Profiling** ([`profiler`]) — an `nvprof`-style event ledger that
-//!   regenerates the kernel-utilization breakdowns of Figures 11/14/15.
+//!   regenerates the kernel-utilization breakdowns of Figures 11/14/15,
+//! * **Fault injection** ([`fault`]) — seeded, fully deterministic
+//!   device-loss / ECC-retirement / PCIe-failure / straggler schedules that
+//!   the resilience layer (`rtm-core::resilient`) is tested against.
 
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
@@ -35,6 +39,7 @@ pub mod profiler;
 pub mod stream;
 
 pub use device::DeviceSpec;
+pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use kernel::{KernelProfile, KernelTiming};
 pub use memory::{DeviceMemory, OutOfMemory};
 pub use pcie::{HostAlloc, TransferKind};

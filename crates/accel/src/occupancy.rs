@@ -34,7 +34,9 @@ pub fn allocate(dev: &DeviceSpec, regs_needed: u32, maxregcount: Option<u32>) ->
     // `maxregcount:64` rather than the Kepler hardware default of 255
     // (Figure 10): the unconstrained allocation cuts occupancy for no
     // matching win.
-    let regs = (regs_needed.saturating_mul(7) / 4).min(cap).max(regs_needed.min(cap));
+    let regs = (regs_needed.saturating_mul(7) / 4)
+        .min(cap)
+        .max(regs_needed.min(cap));
     let spilled = regs_needed.saturating_sub(cap);
     // Threads resident per SM limited by the register file.
     let by_regs = dev.regs_per_sm / regs.max(1);

@@ -10,6 +10,7 @@
 //!   "exchanging non-contiguous data remains a non-optimal solution" — a
 //!   strided transfer is billed per contiguous chunk.
 
+use crate::fault::FaultPlan;
 use crate::{DeviceSpec, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,52 @@ pub fn transfer_time(
             // Descriptor overhead per chunk; small chunks also waste bus
             // efficiency (modeled inside the per-chunk cost).
             base + chunks as f64 * STRIDED_CHUNK_COST_S
+        }
+    }
+}
+
+/// The `seq`-th transfer on a device failed (simulated PCIe replay
+/// exhaustion). Retry with a bumped sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferFailed {
+    /// Device index within the fault plan.
+    pub device: usize,
+    /// Sequence number of the failed transfer.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for TransferFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transfer {} on device {} failed", self.seq, self.device)
+    }
+}
+
+impl std::error::Error for TransferFailed {}
+
+/// Fault-aware variant of [`transfer_time`]: under a [`FaultPlan`], the
+/// `seq`-th transfer on `device` may fail outright (deterministically per
+/// `(device, seq)`), and a straggler window at `at_s` stretches the copy.
+/// With `plan = None` this is exactly [`transfer_time`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_transfer_time(
+    dev: &DeviceSpec,
+    bytes: u64,
+    alloc: HostAlloc,
+    kind: TransferKind,
+    plan: Option<&FaultPlan>,
+    device: usize,
+    seq: u64,
+    at_s: SimTime,
+) -> Result<SimTime, TransferFailed> {
+    let base = transfer_time(dev, bytes, alloc, kind);
+    match plan {
+        None => Ok(base),
+        Some(p) => {
+            if p.transfer_fails(device, seq) {
+                Err(TransferFailed { device, seq })
+            } else {
+                Ok(base * p.slowdown(device, at_s))
+            }
         }
     }
 }
@@ -147,5 +194,65 @@ mod tests {
         let contig = ghost_exchange_time(&dev, 8, n * n * 4, n, true);
         let strided = ghost_exchange_time(&dev, 8, n * n * 4, n, false);
         assert!(contig < strided);
+    }
+
+    #[test]
+    fn faultless_try_matches_plain() {
+        let dev = DeviceSpec::k40();
+        let t = try_transfer_time(
+            &dev,
+            1 << 20,
+            HostAlloc::Pinned,
+            TransferKind::Contiguous,
+            None,
+            0,
+            0,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(
+            t,
+            transfer_time(&dev, 1 << 20, HostAlloc::Pinned, TransferKind::Contiguous)
+        );
+    }
+
+    #[test]
+    fn faulty_transfers_fail_deterministically_and_slow_in_windows() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let rates = FaultRates {
+            transfer_fail_prob: 0.2,
+            straggler_mtti_s: 10.0,
+            straggler_duration_s: 5.0,
+            straggler_slowdown: 2.0,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::generate(3, 1, 100.0, rates);
+        let dev = DeviceSpec::k40();
+        let go = |seq: u64, at: f64| {
+            try_transfer_time(
+                &dev,
+                1 << 20,
+                HostAlloc::Pinned,
+                TransferKind::Contiguous,
+                Some(&plan),
+                0,
+                seq,
+                at,
+            )
+        };
+        // Some sequence in the first few hundred fails at prob 0.2, and the
+        // outcome for each seq is stable across calls.
+        let failing = (0..400).find(|&s| go(s, 0.0).is_err()).expect("a failure");
+        assert_eq!(go(failing, 0.0), go(failing, 0.0));
+        // A straggler window stretches successful transfers.
+        let win = plan
+            .events()
+            .iter()
+            .find(|e| e.kind == crate::fault::FaultKind::Straggler)
+            .expect("window");
+        let ok_seq = (0..400).find(|&s| go(s, 0.0).is_ok()).expect("a success");
+        let slow = go(ok_seq, win.t_s + 0.1).unwrap();
+        let fast = go(ok_seq, win.t_s - 0.1).unwrap();
+        assert!((slow / fast - 2.0).abs() < 1e-9, "{slow} vs {fast}");
     }
 }

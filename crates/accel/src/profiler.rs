@@ -61,7 +61,13 @@ impl Profiler {
     }
 
     /// Record one event.
-    pub fn record(&self, kind: EventKind, name: impl Into<String>, duration_s: SimTime, stream: u32) {
+    pub fn record(
+        &self,
+        kind: EventKind,
+        name: impl Into<String>,
+        duration_s: SimTime,
+        stream: u32,
+    ) {
         self.events.lock().push(Event {
             kind,
             name: name.into(),
@@ -180,7 +186,8 @@ impl Profiler {
     pub fn export_chrome_trace(&self, process_name: &str) -> String {
         let events = self.events.lock();
         let mut out = String::from("[");
-        let mut stream_clock: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut stream_clock: std::collections::HashMap<u32, f64> =
+            std::collections::HashMap::new();
         let mut first = true;
         for e in events.iter() {
             let t0 = stream_clock.entry(e.stream).or_insert(0.0);

@@ -90,6 +90,25 @@ impl StreamSim {
                 .sum::<f64>()
     }
 
+    /// Fault-aware variant of [`Self::drain_makespan`]: a straggler window
+    /// open at `at_s` on `device` stretches the whole batch by the plan's
+    /// slowdown factor. With `plan = None` this is exactly
+    /// [`Self::drain_makespan`].
+    pub fn drain_makespan_faulty(
+        &mut self,
+        dev: &DeviceSpec,
+        mode: IssueMode,
+        plan: Option<&crate::fault::FaultPlan>,
+        device: usize,
+        at_s: SimTime,
+    ) -> SimTime {
+        let base = self.drain_makespan(dev, mode);
+        match plan {
+            None => base,
+            Some(p) => base * p.slowdown(device, at_s),
+        }
+    }
+
     /// Compute the makespan of the queued batch under the given issue mode,
     /// then clear the queue.
     pub fn drain_makespan(&mut self, dev: &DeviceSpec, mode: IssueMode) -> SimTime {
@@ -116,10 +135,7 @@ impl StreamSim {
                 // kernel occupying the full device serializes regardless of
                 // streams. Makespan ≥ both bounds.
                 let sm_seconds: f64 = kernels.iter().map(|k| k.exec_s * k.sm_fraction).sum();
-                let longest = kernels
-                    .iter()
-                    .map(|k| k.exec_s)
-                    .fold(0.0f64, f64::max);
+                let longest = kernels.iter().map(|k| k.exec_s).fold(0.0f64, f64::max);
                 let _ = n_streams;
                 setup + sm_seconds.max(longest)
             }
@@ -144,7 +160,10 @@ mod tests {
     fn empty_queue_is_zero() {
         let mut s = StreamSim::new();
         assert!(s.is_empty());
-        assert_eq!(s.drain_makespan(&DeviceSpec::k40(), IssueMode::Synchronous), 0.0);
+        assert_eq!(
+            s.drain_makespan(&DeviceSpec::k40(), IssueMode::Synchronous),
+            0.0
+        );
     }
 
     /// Saturating kernels gain only the hidden issue gaps from async —
@@ -226,5 +245,50 @@ mod tests {
         a.push(k("small", 0.1, 0.1, 1));
         let asy = a.drain_makespan(&dev, IssueMode::AsyncStreams);
         assert!(asy >= 5.0e-3);
+    }
+
+    #[test]
+    fn straggler_stretches_drain() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRates};
+        let dev = DeviceSpec::k40();
+        let rates = FaultRates {
+            straggler_mtti_s: 10.0,
+            straggler_duration_s: 4.0,
+            straggler_slowdown: 3.0,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::generate(17, 1, 100.0, rates);
+        let win = plan
+            .events()
+            .iter()
+            .find(|e| e.kind == FaultKind::Straggler)
+            .copied()
+            .expect("window");
+        let batch = || {
+            let mut s = StreamSim::new();
+            s.push(k("a", 0.5, 1.0, 0));
+            s.push(k("b", 0.5, 1.0, 0));
+            s
+        };
+        let healthy = batch().drain_makespan_faulty(
+            &dev,
+            IssueMode::Synchronous,
+            Some(&plan),
+            0,
+            win.t_s - 1.0,
+        );
+        let slowed = batch().drain_makespan_faulty(
+            &dev,
+            IssueMode::Synchronous,
+            Some(&plan),
+            0,
+            win.t_s + 0.5,
+        );
+        let plain = batch().drain_makespan(&dev, IssueMode::Synchronous);
+        assert_eq!(healthy, plain);
+        assert!((slowed / healthy - 3.0).abs() < 1e-9);
+        // No plan → identical to the plain path.
+        let none = batch().drain_makespan_faulty(&dev, IssueMode::Synchronous, None, 0, 0.0);
+        assert_eq!(none, plain);
     }
 }

@@ -37,9 +37,19 @@ fn gang_scaling(c: &mut Criterion) {
                 let p = s.p.as_slice();
                 par_slabs(n, gangs, |z0, z1| {
                     acoustic2d::velocity_slab(
-                        qx, qz, px, pz, p,
+                        qx,
+                        qz,
+                        px,
+                        pz,
+                        p,
                         m.rho.as_slice(),
-                        e, 10.0, 10.0, dt, &cpml, z0, z1,
+                        e,
+                        10.0,
+                        10.0,
+                        dt,
+                        &cpml,
+                        z0,
+                        z1,
                     );
                 });
             })

@@ -8,10 +8,10 @@
 //! * `cray_constructs` — Figure 8/9's kernels-vs-parallel lowering,
 //! * `async_streams` — Figure 11's stream-queue makespans.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use accel_sim::kernel::{time_kernel, KernelProfile};
 use accel_sim::stream::{IssueMode, QueuedKernel, StreamSim};
 use accel_sim::DeviceSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
 use openacc_sim::{Compiler, ConstructKind, LoopNest, LoopSched, PgiVersion};
 use repro::cases::table_workload;
 use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase};
@@ -27,9 +27,15 @@ fn rtm_cases(c: &mut Criterion) {
         let cfg = OptimizationConfig::default();
         g.bench_function(case.label(), |b| {
             b.iter(|| {
-                rtm_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_6), Cluster::CrayXc30, &w)
-                    .map(|r| r.breakdown.total_s)
-                    .ok()
+                rtm_time(
+                    &case,
+                    &cfg,
+                    Compiler::Pgi(PgiVersion::V14_6),
+                    Cluster::CrayXc30,
+                    &w,
+                )
+                .map(|r| r.breakdown.total_s)
+                .ok()
             })
         });
     }

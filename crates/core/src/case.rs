@@ -21,12 +21,30 @@ impl SeismicCase {
         use Dims::*;
         use Formulation::*;
         [
-            SeismicCase { formulation: Isotropic, dims: Two },
-            SeismicCase { formulation: Acoustic, dims: Two },
-            SeismicCase { formulation: Elastic, dims: Two },
-            SeismicCase { formulation: Isotropic, dims: Three },
-            SeismicCase { formulation: Acoustic, dims: Three },
-            SeismicCase { formulation: Elastic, dims: Three },
+            SeismicCase {
+                formulation: Isotropic,
+                dims: Two,
+            },
+            SeismicCase {
+                formulation: Acoustic,
+                dims: Two,
+            },
+            SeismicCase {
+                formulation: Elastic,
+                dims: Two,
+            },
+            SeismicCase {
+                formulation: Isotropic,
+                dims: Three,
+            },
+            SeismicCase {
+                formulation: Acoustic,
+                dims: Three,
+            },
+            SeismicCase {
+                formulation: Elastic,
+                dims: Three,
+            },
         ]
     }
 
@@ -204,9 +222,7 @@ mod tests {
         assert_eq!(Cluster::Ibm.device().name, "Tesla M2090");
         assert_eq!(Cluster::CrayXc30.baseline_ranks(), 10);
         assert_eq!(Cluster::Ibm.baseline_ranks(), 8);
-        assert!(
-            Cluster::CrayXc30.interconnect().latency_s < Cluster::Ibm.interconnect().latency_s
-        );
+        assert!(Cluster::CrayXc30.interconnect().latency_s < Cluster::Ibm.interconnect().latency_s);
     }
 
     #[test]

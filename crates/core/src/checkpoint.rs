@@ -15,30 +15,35 @@
 //! the headline test of this module.
 
 use crate::case::OptimizationConfig;
+use crate::error::{ConfigError, RtmError};
 use crate::modeling::{Medium2, State2};
 use seismic_grid::Field2;
 use seismic_source::{Acquisition2, Seismogram, Wavelet};
 
 /// Evenly spaced checkpoint schedule: which forward steps get a stored
 /// state. Always includes step 0; never exceeds `slots` entries.
-pub fn plan_checkpoints(steps: usize, slots: usize) -> Vec<usize> {
-    assert!(slots >= 1, "need at least one checkpoint slot");
-    assert!(steps >= 1);
+pub fn plan_checkpoints(steps: usize, slots: usize) -> Result<Vec<usize>, ConfigError> {
+    if slots == 0 {
+        return Err(ConfigError::ZeroSlots);
+    }
+    if steps == 0 {
+        return Err(ConfigError::ZeroSteps);
+    }
     let n = slots.min(steps);
-    (0..n).map(|k| k * steps / n).collect()
+    Ok((0..n).map(|k| k * steps / n).collect())
 }
 
 /// Peak states resident under the schedule: the stored checkpoints plus
 /// the replay buffer for the longest segment (in snapshot units).
-pub fn peak_states(steps: usize, slots: usize, snap_period: usize) -> usize {
-    let cps = plan_checkpoints(steps, slots);
+pub fn peak_states(steps: usize, slots: usize, snap_period: usize) -> Result<usize, ConfigError> {
+    let cps = plan_checkpoints(steps, slots)?;
     let longest = cps
         .windows(2)
         .map(|w| w[1] - w[0])
         .chain(std::iter::once(steps - cps.last().copied().unwrap_or(0)))
         .max()
         .unwrap_or(steps);
-    slots + longest.div_ceil(snap_period.max(1))
+    Ok(slots + longest.div_ceil(snap_period.max(1)))
 }
 
 /// Run RTM with at most `slots` stored forward states (plus one segment's
@@ -55,10 +60,10 @@ pub fn migrate_checkpointed(
     snap_period: usize,
     slots: usize,
     gangs: usize,
-) -> Field2 {
+) -> Result<Field2, RtmError> {
     let e = medium.extent();
     let dt = medium.dt();
-    let checkpoints = plan_checkpoints(steps, slots);
+    let checkpoints = plan_checkpoints(steps, slots)?;
 
     // Forward pass: store full states at checkpoint steps only.
     // `stored[k]` is the state *before* executing step `checkpoints[k]`.
@@ -72,7 +77,12 @@ pub fn migrate_checkpointed(
                 next += 1;
             }
             state.step(medium, config, gangs);
-            state.inject(medium, acq.src_ix, acq.src_iz, wavelet.sample(t as f32 * dt));
+            state.inject(
+                medium,
+                acq.src_ix,
+                acq.src_iz,
+                wavelet.sample(t as f32 * dt),
+            );
         }
     }
 
@@ -89,7 +99,12 @@ pub fn migrate_checkpointed(
         let mut fstate = stored[k].clone();
         for t in seg_start..seg_end {
             fstate.step(medium, config, gangs);
-            fstate.inject(medium, acq.src_ix, acq.src_iz, wavelet.sample(t as f32 * dt));
+            fstate.inject(
+                medium,
+                acq.src_ix,
+                acq.src_iz,
+                wavelet.sample(t as f32 * dt),
+            );
             // migrate_shot images against the snapshot taken *after* step t
             // when t % snap_period == 0 in the forward driver (which saves
             // after stepping+injecting).
@@ -98,15 +113,14 @@ pub fn migrate_checkpointed(
             }
         }
         // Receiver field walks t = seg_end-1 .. seg_start, imaging at the
-        // same times migrate_shot does.
+        // same times migrate_shot does. Replay entries are pushed in
+        // increasing step order, so the by-step lookup is a binary search.
         for t in (seg_start..seg_end).rev() {
             if t % snap_period == 0 {
-                let snap = &replay
-                    .iter()
-                    .rev()
-                    .find(|(ts, _)| *ts == t)
-                    .expect("replayed snapshot")
-                    .1;
+                let idx = replay
+                    .binary_search_by_key(&t, |(ts, _)| *ts)
+                    .map_err(|_| RtmError::MissingSnapshot { step: t })?;
+                let snap = &replay[idx].1;
                 for iz in 0..e.nz {
                     for ix in 0..e.nx {
                         let v = image.get(ix, iz) + snap.get(ix, iz) * rstate.sample(ix, iz);
@@ -121,7 +135,7 @@ pub fn migrate_checkpointed(
         }
         seg_end = seg_start;
     }
-    image
+    Ok(image)
 }
 
 impl Clone for State2 {
@@ -150,23 +164,39 @@ mod tests {
         let h = 10.0;
         let dt = stable_dt(8, 2, 3000.0, h, 0.6);
         let layers = [
-            Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-            Layer { z_top: n / 2, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: n / 2,
+                vp: 3000.0,
+                vs: 0.0,
+                rho: 2400.0,
+            },
         ];
         let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
         let c = CpmlAxis::new(n, e.halo, 10, dt, 3000.0, h, 1e-4);
-        Medium2::Acoustic { model, cpml: [c.clone(), c] }
+        Medium2::Acoustic {
+            model,
+            cpml: [c.clone(), c],
+        }
     }
 
     #[test]
     fn schedule_properties() {
-        let cps = plan_checkpoints(100, 4);
+        let cps = plan_checkpoints(100, 4).unwrap();
         assert_eq!(cps, vec![0, 25, 50, 75]);
-        assert_eq!(plan_checkpoints(10, 100), (0..10).collect::<Vec<_>>());
-        assert_eq!(plan_checkpoints(100, 1), vec![0]);
+        assert_eq!(
+            plan_checkpoints(10, 100).unwrap(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(plan_checkpoints(100, 1).unwrap(), vec![0]);
         // Peak memory shrinks as slots grow (until the replay buffer floor).
-        let p2 = peak_states(1000, 2, 5);
-        let p10 = peak_states(1000, 10, 5);
+        let p2 = peak_states(1000, 2, 5).unwrap();
+        let p10 = peak_states(1000, 10, 5).unwrap();
         assert!(p10 < p2, "{p10} vs {p2}");
     }
 
@@ -183,11 +213,20 @@ mod tests {
         let snap = 4;
         // Dense reference: store every snapshot.
         let fwd = run_modeling(&m, &acq, &w, &cfg, steps, snap, 3);
-        let dense = migrate_shot(&m, &acq, &fwd.seismogram, &fwd.snapshots, &cfg, steps, snap, 3);
+        let dense = migrate_shot(
+            &m,
+            &acq,
+            &fwd.seismogram,
+            &fwd.snapshots,
+            &cfg,
+            steps,
+            snap,
+            3,
+        );
         for slots in [1usize, 3, 7] {
-            let img = migrate_checkpointed(
-                &m, &acq, &fwd.seismogram, &w, &cfg, steps, snap, slots, 3,
-            );
+            let img =
+                migrate_checkpointed(&m, &acq, &fwd.seismogram, &w, &cfg, steps, snap, slots, 3)
+                    .unwrap();
             assert_eq!(img, dense.image, "slots = {slots}");
         }
     }
@@ -199,7 +238,7 @@ mod tests {
         let steps = 4000;
         let snap = 4;
         let dense_states = steps / snap;
-        let ckpt = peak_states(steps, 16, snap);
+        let ckpt = peak_states(steps, 16, snap).unwrap();
         assert!(
             ckpt < dense_states / 8,
             "checkpointed {ckpt} vs dense {dense_states}"
@@ -207,8 +246,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one checkpoint")]
-    fn zero_slots_rejected() {
-        plan_checkpoints(10, 0);
+    fn bad_schedules_are_typed_errors() {
+        use crate::error::ConfigError;
+        assert_eq!(plan_checkpoints(10, 0), Err(ConfigError::ZeroSlots));
+        assert_eq!(plan_checkpoints(0, 4), Err(ConfigError::ZeroSteps));
+        assert_eq!(peak_states(0, 4, 2), Err(ConfigError::ZeroSteps));
     }
 }

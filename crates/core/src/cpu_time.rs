@@ -59,7 +59,9 @@ fn exchanged_fields(case: &SeismicCase) -> u64 {
 /// source version, as the paper maintains.
 fn cpu_descs(case: &SeismicCase) -> Vec<desc::KernelDesc> {
     match (case.formulation, case.dims) {
-        (Formulation::Isotropic, Dims::Two) => desc::iso2d(seismic_prop::IsoPmlVariant::OriginalIfs),
+        (Formulation::Isotropic, Dims::Two) => {
+            desc::iso2d(seismic_prop::IsoPmlVariant::OriginalIfs)
+        }
         (Formulation::Isotropic, Dims::Three) => {
             desc::iso3d(seismic_prop::IsoPmlVariant::OriginalIfs)
         }
@@ -204,9 +206,7 @@ mod tests {
     #[test]
     fn elastic_costs_most_iso_least() {
         let w = test_workload(Dims::Three);
-        let t = |f| {
-            modeling_cpu_time(&case(f, Dims::Three), Cluster::CrayXc30, &w).total_s()
-        };
+        let t = |f| modeling_cpu_time(&case(f, Dims::Three), Cluster::CrayXc30, &w).total_s();
         let iso = t(Formulation::Isotropic);
         let ac = t(Formulation::Acoustic);
         let el = t(Formulation::Elastic);

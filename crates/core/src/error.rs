@@ -1,0 +1,99 @@
+//! Typed errors for the survey-level drivers.
+//!
+//! A production survey runs for hours across many ranks; an `assert!` on a
+//! malformed argument aborts the whole process and loses every completed
+//! shot. The drivers instead return [`ConfigError`] for caller mistakes
+//! (checkable before any work starts) and [`RtmError`] for failures that
+//! surface mid-run (device OOM, a missing replay snapshot, an exhausted
+//! cluster), so the resilient executor can catch, retry, or degrade.
+
+use openacc_sim::data::DataError;
+use std::fmt;
+
+/// Invalid driver arguments, detected before any propagation starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A survey needs at least one shot.
+    NoShots,
+    /// A time loop needs at least one step.
+    ZeroSteps,
+    /// Checkpointing needs at least one storage slot.
+    ZeroSlots,
+    /// Decomposition needs at least one GPU.
+    ZeroGpus,
+    /// Execution needs at least one rank.
+    ZeroRanks,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoShots => write!(f, "survey has no shots"),
+            ConfigError::ZeroSteps => write!(f, "time loop has zero steps"),
+            ConfigError::ZeroSlots => write!(f, "checkpoint plan has zero slots"),
+            ConfigError::ZeroGpus => write!(f, "decomposition over zero GPUs"),
+            ConfigError::ZeroRanks => write!(f, "execution over zero ranks"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A failure surfacing while a migration or modeling run executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtmError {
+    /// The run was misconfigured (see [`ConfigError`]).
+    Config(ConfigError),
+    /// The device runtime rejected the run (OOM, unmapped data).
+    Data(DataError),
+    /// The backward pass needed a forward snapshot that the replay did not
+    /// produce — the checkpoint schedule and snapshot period disagree.
+    MissingSnapshot {
+        /// Time step whose snapshot was requested.
+        step: usize,
+    },
+    /// Every rank in the cluster has been blacklisted; the survey cannot
+    /// make progress.
+    NoHealthyRanks,
+}
+
+impl fmt::Display for RtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtmError::Config(e) => write!(f, "configuration error: {e}"),
+            RtmError::Data(e) => write!(f, "device data error: {e}"),
+            RtmError::MissingSnapshot { step } => {
+                write!(f, "no replayed snapshot for step {step}")
+            }
+            RtmError::NoHealthyRanks => write!(f, "all ranks blacklisted"),
+        }
+    }
+}
+
+impl std::error::Error for RtmError {}
+
+impl From<ConfigError> for RtmError {
+    fn from(e: ConfigError) -> Self {
+        RtmError::Config(e)
+    }
+}
+
+impl From<DataError> for RtmError {
+    fn from(e: DataError) -> Self {
+        RtmError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ConfigError::NoShots.to_string().contains("no shots"));
+        let e: RtmError = ConfigError::ZeroSlots.into();
+        assert!(e.to_string().contains("zero slots"));
+        let m = RtmError::MissingSnapshot { step: 12 };
+        assert!(m.to_string().contains("12"));
+    }
+}

@@ -49,10 +49,7 @@ fn wavefield_bytes(case: &SeismicCase, w: &Workload) -> u64 {
     w.alloc_points(STENCIL_HALF) * 4
 }
 
-fn run_phases(
-    rt: &mut AccRuntime,
-    phases: &[plan::Phase],
-) {
+fn run_phases(rt: &mut AccRuntime, phases: &[plan::Phase]) {
     for phase in phases {
         let mut any_async = false;
         for s in phase {
@@ -159,8 +156,12 @@ pub fn rtm_time(
     for step in 0..w.steps {
         if step % w.snap_period == 0 {
             // Load the saved forward snapshot...
-            rt.update_device("forward_wavefield", Some(wf_bytes), TransferKind::Contiguous)
-                .expect("forward wavefield present");
+            rt.update_device(
+                "forward_wavefield",
+                Some(wf_bytes),
+                TransferKind::Contiguous,
+            )
+            .expect("forward wavefield present");
             match config.image_placement {
                 ImagePlacement::Gpu => {
                     rt.launch(&img.desc, &img.nest, img.kind, &img.clauses);
@@ -239,8 +240,14 @@ mod tests {
     fn modeling_produces_consistent_breakdown() {
         let c = case(Formulation::Acoustic, Dims::Three);
         let w = test_workload(Dims::Three);
-        let run = modeling_time(&c, &OptimizationConfig::default(), PGI, Cluster::CrayXc30, &w)
-            .expect("fits on K40");
+        let run = modeling_time(
+            &c,
+            &OptimizationConfig::default(),
+            PGI,
+            Cluster::CrayXc30,
+            &w,
+        )
+        .expect("fits on K40");
         let b = run.breakdown;
         assert!(b.total_s > 0.0);
         assert!(b.kernel_s > 0.0 && b.kernel_s < b.total_s);
@@ -276,8 +283,7 @@ mod tests {
     fn transfers_only_add_time() {
         let c = case(Formulation::Isotropic, Dims::Two);
         let w = test_workload(Dims::Two);
-        let run = modeling_time(&c, &OptimizationConfig::default(), PGI, Cluster::Ibm, &w)
-            .unwrap();
+        let run = modeling_time(&c, &OptimizationConfig::default(), PGI, Cluster::Ibm, &w).unwrap();
         assert!(run.breakdown.total_s > run.breakdown.kernel_s);
     }
 
@@ -351,10 +357,22 @@ mod tests {
     fn iso_rtm_is_transfer_dominated() {
         let w = test_workload(Dims::Two);
         let cfg = OptimizationConfig::default();
-        let iso = rtm_time(&case(Formulation::Isotropic, Dims::Two), &cfg, PGI, Cluster::Ibm, &w)
-            .unwrap();
-        let ac = rtm_time(&case(Formulation::Acoustic, Dims::Two), &cfg, PGI, Cluster::Ibm, &w)
-            .unwrap();
+        let iso = rtm_time(
+            &case(Formulation::Isotropic, Dims::Two),
+            &cfg,
+            PGI,
+            Cluster::Ibm,
+            &w,
+        )
+        .unwrap();
+        let ac = rtm_time(
+            &case(Formulation::Acoustic, Dims::Two),
+            &cfg,
+            PGI,
+            Cluster::Ibm,
+            &w,
+        )
+        .unwrap();
         let iso_frac = iso.breakdown.transfer_s / iso.breakdown.total_s;
         let ac_frac = ac.breakdown.transfer_s / ac.breakdown.total_s;
         assert!(iso_frac > ac_frac, "iso {iso_frac} vs acoustic {ac_frac}");

@@ -31,20 +31,28 @@
 //! * [`checkpoint`] — bounded-memory RTM via store-vs-recompute
 //!   checkpointing of the source wavefield,
 //! * [`shot_parallel`] — survey-level shot distribution over ranks with
-//!   image stacking on the root.
+//!   image stacking on the root,
+//! * [`resilient`] — fault-tolerant execution under a seeded
+//!   `accel_sim::fault::FaultPlan`: retry with jittered backoff, device
+//!   blacklisting and shot rescheduling, checkpoint-restart, and the
+//!   resilience accounting behind the overhead-vs-MTTI tables.
 
 pub mod case;
 pub mod checkpoint;
 pub mod cpu_time;
+pub mod error;
 pub mod gpu_time;
 pub mod modeling;
 pub mod modeling3;
 pub mod mpi_run;
 pub mod multi_gpu;
 pub mod plan;
+pub mod resilient;
 pub mod rtm;
 pub mod rtm3;
 pub mod shot_parallel;
 
 pub use case::{Cluster, OptimizationConfig, SeismicCase};
+pub use error::{ConfigError, RtmError};
 pub use gpu_time::TimingBreakdown;
+pub use resilient::{ResilienceStats, RetryPolicy};

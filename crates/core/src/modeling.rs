@@ -129,9 +129,7 @@ impl State2 {
     pub fn inject(&mut self, medium: &Medium2, ix: usize, iz: usize, amp: f32) {
         match (self, medium) {
             (State2::Iso(s), Medium2::Iso { model, .. }) => s.inject(model, ix, iz, amp),
-            (State2::Acoustic(s), Medium2::Acoustic { model, .. }) => {
-                s.inject(model, ix, iz, amp)
-            }
+            (State2::Acoustic(s), Medium2::Acoustic { model, .. }) => s.inject(model, ix, iz, amp),
             (State2::Elastic(s), Medium2::Elastic { model, .. }) => {
                 s.inject(model, ix, iz, amp * 1e6)
             }
@@ -145,7 +143,14 @@ impl State2 {
         let e = medium.extent();
         let nz = e.nz;
         match (self, medium) {
-            (State2::Iso(s), Medium2::Iso { model, damp_x, damp_z }) => {
+            (
+                State2::Iso(s),
+                Medium2::Iso {
+                    model,
+                    damp_x,
+                    damp_z,
+                },
+            ) => {
                 {
                     let u = SyncSlice::new(s.u_prev.as_mut_slice());
                     let cur = s.u_cur.as_slice();
@@ -177,10 +182,19 @@ impl State2 {
                     let p = s.p.as_slice();
                     par_slabs(nz, gangs, |z0, z1| {
                         acoustic2d::velocity_slab(
-                            qx, qz, px, pz, p,
+                            qx,
+                            qz,
+                            px,
+                            pz,
+                            p,
                             model.rho.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -192,10 +206,20 @@ impl State2 {
                     let qz = s.qz.as_slice();
                     par_slabs(nz, gangs, |z0, z1| {
                         acoustic2d::pressure_slab(
-                            p, sx, sz, qx, qz,
-                            model.vp.as_slice(), model.rho.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            p,
+                            sx,
+                            sz,
+                            qx,
+                            qz,
+                            model.vp.as_slice(),
+                            model.rho.as_slice(),
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -209,10 +233,19 @@ impl State2 {
                     let (sxx, sxz) = (s.sxx.as_slice(), s.sxz.as_slice());
                     par_slabs(nz, gangs, |z0, z1| {
                         elastic2d::vx_slab(
-                            vx, p1, p2, sxx, sxz,
+                            vx,
+                            p1,
+                            p2,
+                            sxx,
+                            sxz,
                             model.rho.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -223,10 +256,19 @@ impl State2 {
                     let (sxz, szz) = (s.sxz.as_slice(), s.szz.as_slice());
                     par_slabs(nz, gangs, |z0, z1| {
                         elastic2d::vz_slab(
-                            vz, p1, p2, sxz, szz,
+                            vz,
+                            p1,
+                            p2,
+                            sxz,
+                            szz,
                             model.rho.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -238,10 +280,21 @@ impl State2 {
                     let (vx, vz) = (s.vx.as_slice(), s.vz.as_slice());
                     par_slabs(nz, gangs, |z0, z1| {
                         elastic2d::stress_diag_slab(
-                            sxx, szz, p1, p2, vx, vz,
-                            model.lam.as_slice(), model.mu.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            sxx,
+                            szz,
+                            p1,
+                            p2,
+                            vx,
+                            vz,
+                            model.lam.as_slice(),
+                            model.mu.as_slice(),
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -252,27 +305,52 @@ impl State2 {
                     let (vx, vz) = (s.vx.as_slice(), s.vz.as_slice());
                     par_slabs(nz, gangs, |z0, z1| {
                         elastic2d::stress_shear_slab(
-                            sxz, p1, p2, vx, vz,
+                            sxz,
+                            p1,
+                            p2,
+                            vx,
+                            vz,
                             model.mu.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            cpml, z0, z1,
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
             }
-            (State2::Vti(s), Medium2::Vti { model, damp_x, damp_z }) => {
+            (
+                State2::Vti(s),
+                Medium2::Vti {
+                    model,
+                    damp_x,
+                    damp_z,
+                },
+            ) => {
                 {
                     let p = SyncSlice::new(s.p_prev.as_mut_slice());
                     let q = SyncSlice::new(s.q_prev.as_mut_slice());
                     let (pc, qc) = (s.p_cur.as_slice(), s.q_cur.as_slice());
                     par_slabs(nz, gangs, |z0, z1| {
                         vti2d::step_slab(
-                            p, q, pc, qc,
+                            p,
+                            q,
+                            pc,
+                            qc,
                             model.vp.as_slice(),
                             model.epsilon.as_slice(),
                             model.delta.as_slice(),
-                            e, model.geom.dx, model.geom.dz, model.geom.dt,
-                            damp_x, damp_z, z0, z1,
+                            e,
+                            model.geom.dx,
+                            model.geom.dz,
+                            model.geom.dt,
+                            damp_x,
+                            damp_z,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -309,7 +387,12 @@ pub fn run_modeling(
     let dt = medium.dt();
     for t in 0..steps {
         state.step(medium, config, gangs);
-        state.inject(medium, acq.src_ix, acq.src_iz, wavelet.sample(t as f32 * dt));
+        state.inject(
+            medium,
+            acq.src_ix,
+            acq.src_iz,
+            wavelet.sample(t as f32 * dt),
+        );
         for (r, rcv) in acq.receivers.iter().enumerate() {
             seismogram.record(r, t, state.sample(rcv.ix, rcv.iz));
         }

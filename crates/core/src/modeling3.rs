@@ -169,9 +169,20 @@ impl State3 {
                     let p = s.p.as_slice();
                     par_slabs(nz, gangs, |z0, z1| {
                         acoustic3d::velocity_slab(
-                            qx, qy, qz, px, py, pz, p,
+                            qx,
+                            qy,
+                            qz,
+                            px,
+                            py,
+                            pz,
+                            p,
                             model.rho.as_slice(),
-                            e, h, model.geom.dt, cpml, z0, z1,
+                            e,
+                            h,
+                            model.geom.dt,
+                            cpml,
+                            z0,
+                            z1,
                         );
                     });
                 }
@@ -184,9 +195,21 @@ impl State3 {
                         let (qx, qy, qz) = (s.qx.as_slice(), s.qy.as_slice(), s.qz.as_slice());
                         par_slabs(nz, gangs, |z0, z1| {
                             acoustic3d::pressure_fused_slab(
-                                p, sx, sy, sz, qx, qy, qz,
-                                model.vp.as_slice(), model.rho.as_slice(),
-                                e, h, model.geom.dt, cpml, z0, z1,
+                                p,
+                                sx,
+                                sy,
+                                sz,
+                                qx,
+                                qy,
+                                qz,
+                                model.vp.as_slice(),
+                                model.rho.as_slice(),
+                                e,
+                                h,
+                                model.geom.dt,
+                                cpml,
+                                z0,
+                                z1,
                             );
                         });
                     }
@@ -200,9 +223,18 @@ impl State3 {
                             };
                             par_slabs(nz, gangs, |z0, z1| {
                                 acoustic3d::pressure_axis_slab(
-                                    p, psi, q,
-                                    model.vp.as_slice(), model.rho.as_slice(),
-                                    e, axis, h[axis], model.geom.dt, &cpml[axis], z0, z1,
+                                    p,
+                                    psi,
+                                    q,
+                                    model.vp.as_slice(),
+                                    model.rho.as_slice(),
+                                    e,
+                                    axis,
+                                    h[axis],
+                                    model.geom.dt,
+                                    &cpml[axis],
+                                    z0,
+                                    z1,
                                 );
                             });
                         }
@@ -245,8 +277,20 @@ fn elastic_step_gangs(
         let (sxx, sxy, sxz) = (s.sxx.as_slice(), s.sxy.as_slice(), s.sxz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::vx_slab(
-                vx, p0, p1, p2, sxx, sxy, sxz,
-                model.rho.as_slice(), e, h, g.dt, cpml, z0, z1,
+                vx,
+                p0,
+                p1,
+                p2,
+                sxx,
+                sxy,
+                sxz,
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -261,8 +305,20 @@ fn elastic_step_gangs(
         let (sxy, syy, syz) = (s.sxy.as_slice(), s.syy.as_slice(), s.syz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::vy_slab(
-                vy, p0, p1, p2, sxy, syy, syz,
-                model.rho.as_slice(), e, h, g.dt, cpml, z0, z1,
+                vy,
+                p0,
+                p1,
+                p2,
+                sxy,
+                syy,
+                syz,
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -277,8 +333,20 @@ fn elastic_step_gangs(
         let (sxz, syz, szz) = (s.sxz.as_slice(), s.syz.as_slice(), s.szz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::vz_slab(
-                vz, p0, p1, p2, sxz, syz, szz,
-                model.rho.as_slice(), e, h, g.dt, cpml, z0, z1,
+                vz,
+                p0,
+                p1,
+                p2,
+                sxz,
+                syz,
+                szz,
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -295,9 +363,23 @@ fn elastic_step_gangs(
         let (vx, vy, vz) = (s.vx.as_slice(), s.vy.as_slice(), s.vz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::stress_diag_slab(
-                sxx, syy, szz, p0, p1, p2, vx, vy, vz,
-                model.lam.as_slice(), model.mu.as_slice(),
-                e, h, g.dt, cpml, z0, z1,
+                sxx,
+                syy,
+                szz,
+                p0,
+                p1,
+                p2,
+                vx,
+                vy,
+                vz,
+                model.lam.as_slice(),
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -315,8 +397,22 @@ fn elastic_step_gangs(
         let (vx, vy, vz) = (s.vx.as_slice(), s.vy.as_slice(), s.vz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::stress_sxy_sxz_slab(
-                sxy, sxz, p0, p1, p2, p3, vx, vy, vz,
-                model.mu.as_slice(), e, h, g.dt, cpml, z0, z1,
+                sxy,
+                sxz,
+                p0,
+                p1,
+                p2,
+                p3,
+                vx,
+                vy,
+                vz,
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -329,8 +425,18 @@ fn elastic_step_gangs(
         let (vy, vz) = (s.vy.as_slice(), s.vz.as_slice());
         par_slabs(nz, gangs, |z0, z1| {
             elastic3d::stress_syz_slab(
-                syz, p0, p1, vy, vz,
-                model.mu.as_slice(), e, h, g.dt, cpml, z0, z1,
+                syz,
+                p0,
+                p1,
+                vy,
+                vz,
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                z0,
+                z1,
             );
         });
     }
@@ -477,15 +583,7 @@ mod tests {
             6,
             4,
         );
-        let fiss = run_modeling3(
-            medium,
-            &acq,
-            &w,
-            &OptimizationConfig::default(),
-            30,
-            6,
-            4,
-        );
+        let fiss = run_modeling3(medium, &acq, &w, &OptimizationConfig::default(), 30, 6, 4);
         // Reassociated accumulation: tight tolerance, not bitwise.
         let scale = fused.seismogram.rms().max(1e-30);
         for r in 0..acq.n_receivers() {

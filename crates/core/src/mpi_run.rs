@@ -257,11 +257,19 @@ pub fn modeling_ac2_mpi(
                 let px = SyncSlice::new(st.psi_px.as_mut_slice());
                 let pz = SyncSlice::new(st.psi_pz.as_mut_slice());
                 acoustic2d::velocity_slab(
-                    qx, qz, px, pz,
+                    qx,
+                    qz,
+                    px,
+                    pz,
                     st.p.as_slice(),
                     rho_local.as_slice(),
-                    le, model.geom.dx, model.geom.dz, dt,
-                    &cpml_local, 0, slab.nz(),
+                    le,
+                    model.geom.dx,
+                    model.geom.dz,
+                    dt,
+                    &cpml_local,
+                    0,
+                    slab.nz(),
                 );
             }
             // Pressure kernel reads qx/qz halos.
@@ -272,11 +280,20 @@ pub fn modeling_ac2_mpi(
                 let sx = SyncSlice::new(st.psi_qx.as_mut_slice());
                 let sz = SyncSlice::new(st.psi_qz.as_mut_slice());
                 acoustic2d::pressure_slab(
-                    p, sx, sz,
-                    st.qx.as_slice(), st.qz.as_slice(),
-                    vp_local.as_slice(), rho_local.as_slice(),
-                    le, model.geom.dx, model.geom.dz, dt,
-                    &cpml_local, 0, slab.nz(),
+                    p,
+                    sx,
+                    sz,
+                    st.qx.as_slice(),
+                    st.qz.as_slice(),
+                    vp_local.as_slice(),
+                    rho_local.as_slice(),
+                    le,
+                    model.geom.dx,
+                    model.geom.dz,
+                    dt,
+                    &cpml_local,
+                    0,
+                    slab.nz(),
                 );
             }
             if let Some((ix, iz)) = src_local {

@@ -20,10 +20,10 @@
 //!   overlapped with the interior kernel).
 
 use crate::case::{Cluster, OptimizationConfig, SeismicCase, Workload};
+use crate::error::{ConfigError, RtmError};
 use crate::plan;
 use accel_sim::pcie::{transfer_time, HostAlloc, TransferKind};
 use accel_sim::SimTime;
-use openacc_sim::data::DataError;
 use openacc_sim::{AccRuntime, Compiler};
 use seismic_grid::STENCIL_HALF;
 use seismic_model::footprint::{self, Dims};
@@ -134,8 +134,10 @@ pub fn modeling_time_multi(
     n_gpus: usize,
     packing: GhostPacking,
     mode: CommMode,
-) -> Result<MultiGpuTiming, DataError> {
-    assert!(n_gpus >= 1, "need at least one GPU");
+) -> Result<MultiGpuTiming, RtmError> {
+    if n_gpus == 0 {
+        return Err(ConfigError::ZeroGpus.into());
+    }
     // Each card holds its slab plus ghost shells.
     let local = Workload {
         nz: w.nz.div_ceil(n_gpus).max(2 * STENCIL_HALF),
@@ -206,6 +208,7 @@ pub fn modeling_time_multi(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openacc_sim::data::DataError;
     use openacc_sim::PgiVersion;
     use seismic_model::footprint::Formulation;
 
@@ -287,13 +290,25 @@ mod tests {
     fn packed_ghosts_beat_strided() {
         let cfg = OptimizationConfig::default();
         let s = modeling_time_multi(
-            &case3(), &cfg, PGI, Cluster::CrayXc30, &w3(256), 4,
-            GhostPacking::Strided, CommMode::Blocking,
+            &case3(),
+            &cfg,
+            PGI,
+            Cluster::CrayXc30,
+            &w3(256),
+            4,
+            GhostPacking::Strided,
+            CommMode::Blocking,
         )
         .unwrap();
         let p = modeling_time_multi(
-            &case3(), &cfg, PGI, Cluster::CrayXc30, &w3(256), 4,
-            GhostPacking::DevicePacked, CommMode::Blocking,
+            &case3(),
+            &cfg,
+            PGI,
+            Cluster::CrayXc30,
+            &w3(256),
+            4,
+            GhostPacking::DevicePacked,
+            CommMode::Blocking,
         )
         .unwrap();
         assert!(p.step_comm_raw_s < s.step_comm_raw_s);
@@ -318,14 +333,44 @@ mod tests {
         };
         let cfg = OptimizationConfig::default();
         let one = modeling_time_multi(
-            &case, &cfg, PGI, Cluster::Ibm, &w, 1,
-            GhostPacking::DevicePacked, CommMode::Blocking,
+            &case,
+            &cfg,
+            PGI,
+            Cluster::Ibm,
+            &w,
+            1,
+            GhostPacking::DevicePacked,
+            CommMode::Blocking,
         );
-        assert!(matches!(one, Err(DataError::Oom(_))));
+        assert!(matches!(one, Err(RtmError::Data(DataError::Oom(_)))));
         let four = modeling_time_multi(
-            &case, &cfg, PGI, Cluster::Ibm, &w, 4,
-            GhostPacking::DevicePacked, CommMode::Blocking,
+            &case,
+            &cfg,
+            PGI,
+            Cluster::Ibm,
+            &w,
+            4,
+            GhostPacking::DevicePacked,
+            CommMode::Blocking,
         );
         assert!(four.is_ok(), "4 Fermis hold the decomposed slabs");
+    }
+
+    #[test]
+    fn zero_gpus_is_a_typed_error() {
+        let r = modeling_time_multi(
+            &case3(),
+            &OptimizationConfig::default(),
+            PGI,
+            Cluster::CrayXc30,
+            &w3(64),
+            0,
+            GhostPacking::DevicePacked,
+            CommMode::Blocking,
+        );
+        assert_eq!(
+            r,
+            Err(RtmError::Config(crate::error::ConfigError::ZeroGpus))
+        );
     }
 }

@@ -56,10 +56,7 @@ pub fn preferred_construct(compiler: Compiler, depth: usize) -> (ConstructKind, 
 
 fn nest_for(case: &SeismicCase, w: &Workload, points_scale: f64) -> LoopNest {
     let sizes: Vec<u64> = match case.dims {
-        Dims::Two => vec![
-            ((w.nz as f64 * points_scale) as u64).max(1),
-            w.nx as u64,
-        ],
+        Dims::Two => vec![((w.nz as f64 * points_scale) as u64).max(1), w.nx as u64],
         Dims::Three => vec![
             ((w.nz as f64 * points_scale) as u64).max(1),
             w.ny as u64,
@@ -218,7 +215,11 @@ pub fn step_phases(
 
 /// Source injection: a single-point kernel (the 0.04 %-utilization kernel
 /// of Figure 14).
-pub fn source_injection(case: &SeismicCase, compiler: Compiler, config: &OptimizationConfig) -> LaunchSpec {
+pub fn source_injection(
+    case: &SeismicCase,
+    compiler: Compiler,
+    config: &OptimizationConfig,
+) -> LaunchSpec {
     let d = KernelDesc {
         name: "source_injection",
         flops: 8.0,
@@ -271,7 +272,15 @@ pub fn receiver_injection(
         ..*case
     };
     let inlined = config.inline_receiver_injection && matches!(compiler, Compiler::Cray);
-    let mut s = spec(&case1, &w, compiler, config, d, 1.0 / n_receivers.max(1) as f64, None);
+    let mut s = spec(
+        &case1,
+        &w,
+        compiler,
+        config,
+        d,
+        1.0 / n_receivers.max(1) as f64,
+        None,
+    );
     if inlined {
         // CRAY's successful inlining produces one clean kernel over all
         // receivers (26 % utilization in Figure 14); accesses still scatter
@@ -471,9 +480,6 @@ mod tests {
             .all(|s| s.nest.innermost_dependence && !s.nest.innermost_contiguous));
         let trans = step_phases(&case, &cfg(), &w2(), Compiler::Cray);
         assert_eq!(trans.len(), 4); // in, vel, prs, out
-        assert!(trans
-            .iter()
-            .flatten()
-            .all(|s| !s.nest.innermost_dependence));
+        assert!(trans.iter().flatten().all(|s| !s.nest.innermost_dependence));
     }
 }

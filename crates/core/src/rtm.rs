@@ -96,15 +96,14 @@ pub fn run_rtm(
 }
 
 /// Grid spacing, near-source velocity, and dt of a medium (mute inputs).
-fn medium_surface_params(medium: &Medium2, acq: &Acquisition2) -> (f32, f32, f32) {
+pub(crate) fn medium_surface_params(medium: &Medium2, acq: &Acquisition2) -> (f32, f32, f32) {
     let (ix, iz) = (acq.src_ix, acq.src_iz);
     match medium {
         Medium2::Iso { model, .. } => (model.geom.dx, model.vp.get(ix, iz), model.geom.dt),
         Medium2::Acoustic { model, .. } => (model.geom.dx, model.vp.get(ix, iz), model.geom.dt),
         Medium2::Elastic { model, .. } => {
-            let vp = ((model.lam.get(ix, iz) + 2.0 * model.mu.get(ix, iz))
-                / model.rho.get(ix, iz))
-            .sqrt();
+            let vp = ((model.lam.get(ix, iz) + 2.0 * model.mu.get(ix, iz)) / model.rho.get(ix, iz))
+                .sqrt();
             (model.geom.dx, vp, model.geom.dt)
         }
         Medium2::Vti { model, .. } => {
@@ -363,7 +362,15 @@ mod tests {
         let muted = mute_direct(&fwd.seismogram, &acq, h, v, dt, 2.4 / 18.0);
         let ratio_at_reflector = |cond: ImagingCondition| {
             let r = migrate_shot_with(
-                &medium, &acq, &muted, &fwd.snapshots, &cfg, steps, 3, 4, cond,
+                &medium,
+                &acq,
+                &muted,
+                &fwd.snapshots,
+                &cfg,
+                steps,
+                3,
+                4,
+                cond,
             );
             let img = laplacian_filter(&r.image, 10.0, 10.0);
             let prof = depth_profile(&img);

@@ -28,9 +28,7 @@ fn medium_params(medium: &Medium3, acq: &Acquisition3) -> (f32, f32, f32) {
     let (ix, iy, iz) = (acq.src_ix, acq.src_iy, acq.src_iz);
     match medium {
         Medium3::Iso { model, .. } => (model.geom.dx, model.vp.get(ix, iy, iz), model.geom.dt),
-        Medium3::Acoustic { model, .. } => {
-            (model.geom.dx, model.vp.get(ix, iy, iz), model.geom.dt)
-        }
+        Medium3::Acoustic { model, .. } => (model.geom.dx, model.vp.get(ix, iy, iz), model.geom.dt),
         Medium3::Elastic { model, .. } => {
             let vp = ((model.lam.get(ix, iy, iz) + 2.0 * model.mu.get(ix, iy, iz))
                 / model.rho.get(ix, iy, iz))
@@ -117,8 +115,8 @@ pub fn run_rtm3(
                 for iz in 0..e.nz {
                     for iy in 0..e.ny {
                         for ix in 0..e.nx {
-                            let v =
-                                image.get(ix, iy, iz) + s.get(ix, iy, iz) * rstate.sample(ix, iy, iz);
+                            let v = image.get(ix, iy, iz)
+                                + s.get(ix, iy, iz) * rstate.sample(ix, iy, iz);
                             image.set(ix, iy, iz, v);
                         }
                     }
@@ -185,8 +183,18 @@ mod tests {
         let h = 10.0;
         let dt = stable_dt(8, 3, 3000.0, h, 0.55);
         let layers = [
-            Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-            Layer { z_top: z_if, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: z_if,
+                vp: 3000.0,
+                vs: 0.0,
+                rho: 2400.0,
+            },
         ];
         let model = acoustic3_layered(e, &layers, Geometry::uniform(h, dt));
         let c = CpmlAxis::new(n, e.halo, 8, dt, 3000.0, h, 1e-4);

@@ -9,6 +9,7 @@
 //! implies.
 
 use crate::case::OptimizationConfig;
+use crate::error::ConfigError;
 use crate::modeling::Medium2;
 use crate::rtm::run_rtm;
 use bytes::Bytes;
@@ -37,8 +38,13 @@ pub fn rtm_shot_parallel(
     snap_period: usize,
     gangs_per_rank: usize,
     ranks: usize,
-) -> Field2 {
-    assert!(!shots.is_empty(), "need at least one shot");
+) -> Result<Field2, ConfigError> {
+    if shots.is_empty() {
+        return Err(ConfigError::NoShots);
+    }
+    if ranks == 0 {
+        return Err(ConfigError::ZeroRanks);
+    }
     let e = medium.extent();
     let mut results = Communicator::run(ranks, |ctx| {
         let mine = shots_for_rank(shots.len(), ctx.rank(), ctx.size());
@@ -76,7 +82,7 @@ pub fn rtm_shot_parallel(
             None
         }
     });
-    results.remove(0).expect("rank 0 returns the stack")
+    Ok(results.remove(0).expect("rank 0 returns the stack"))
 }
 
 #[cfg(test)]
@@ -92,12 +98,41 @@ mod tests {
         let h = 10.0;
         let dt = stable_dt(8, 2, 3000.0, h, 0.6);
         let layers = [
-            Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-            Layer { z_top: n / 2, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: n / 2,
+                vp: 3000.0,
+                vs: 0.0,
+                rho: 2400.0,
+            },
         ];
         let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
         let c = CpmlAxis::new(n, e.halo, 10, dt, 3000.0, h, 1e-4);
-        Medium2::Acoustic { model, cpml: [c.clone(), c] }
+        Medium2::Acoustic {
+            model,
+            cpml: [c.clone(), c],
+        }
+    }
+
+    #[test]
+    fn degenerate_surveys_are_typed_errors() {
+        let m = medium(24);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(20.0);
+        assert_eq!(
+            rtm_shot_parallel(&m, &[], &w, &cfg, 10, 2, 1, 2),
+            Err(ConfigError::NoShots)
+        );
+        let shots = [Acquisition2::surface_line(24, 12, 5, 5, 2)];
+        assert_eq!(
+            rtm_shot_parallel(&m, &shots, &w, &cfg, 10, 2, 1, 0),
+            Err(ConfigError::ZeroRanks)
+        );
     }
 
     #[test]
@@ -145,11 +180,11 @@ mod tests {
             *d += *v;
         }
 
-        let got = rtm_shot_parallel(&m, &shots, &w, &cfg, steps, 4, 2, 2);
+        let got = rtm_shot_parallel(&m, &shots, &w, &cfg, steps, 4, 2, 2).unwrap();
         assert_eq!(got, expect);
         // And a single rank reproduces the same physics (different addition
         // grouping ⇒ compare with tolerance).
-        let got1 = rtm_shot_parallel(&m, &shots, &w, &cfg, steps, 4, 2, 1);
+        let got1 = rtm_shot_parallel(&m, &shots, &w, &cfg, steps, 4, 2, 1).unwrap();
         let scale = got.max_abs().max(1e-12);
         for (a, b) in got.as_slice().iter().zip(got1.as_slice()) {
             assert!((a - b).abs() <= 1e-5 * scale, "{a} vs {b}");

@@ -13,7 +13,10 @@ use crate::{Field2, Field3, STENCIL_HALF};
 pub fn laplacian2(u: &Field2, out: &mut Field2, dx: f32, dz: f32) {
     let e = u.extent();
     assert_eq!(e, out.extent());
-    assert!(e.halo >= STENCIL_HALF, "halo too thin for 8th-order stencil");
+    assert!(
+        e.halo >= STENCIL_HALF,
+        "halo too thin for 8th-order stencil"
+    );
     let fnx = e.full_nx();
     let ui = u.as_slice();
     let oi = out.as_mut_slice();
@@ -36,7 +39,10 @@ pub fn laplacian2(u: &Field2, out: &mut Field2, dx: f32, dz: f32) {
 pub fn laplacian3(u: &Field3, out: &mut Field3, dx: f32, dy: f32, dz: f32) {
     let e = u.extent();
     assert_eq!(e, out.extent());
-    assert!(e.halo >= STENCIL_HALF, "halo too thin for 8th-order stencil");
+    assert!(
+        e.halo >= STENCIL_HALF,
+        "halo too thin for 8th-order stencil"
+    );
     let fnx = e.full_nx();
     let fnxy = fnx * e.full_ny();
     let ui = u.as_slice();

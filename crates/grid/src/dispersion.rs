@@ -30,7 +30,10 @@ pub fn symbol_k2h2(order: usize, kh: f64) -> f64 {
 /// Values below 1 mean the grid lags the true wave (the usual behaviour of
 /// centered schemes).
 pub fn phase_velocity_ratio(order: usize, ppw: f64) -> f64 {
-    assert!(ppw > 2.0, "need more than 2 points per wavelength (Nyquist)");
+    assert!(
+        ppw > 2.0,
+        "need more than 2 points per wavelength (Nyquist)"
+    );
     let kh = 2.0 * std::f64::consts::PI / ppw;
     (symbol_k2h2(order, kh)).sqrt() / kh
 }

@@ -76,9 +76,9 @@ pub mod f32c {
 
     /// 8th-order staggered first derivative.
     pub const S1: [f32; 4] = [
-        1.196_289_1,     // 1225/1024
-        -0.079_752_605,  // -245/3072
-        0.009_570_313,   // 49/5120
+        1.196_289_1,      // 1225/1024
+        -0.079_752_605,   // -245/3072
+        0.009_570_313,    // 49/5120
         -0.000_697_544_7, // -5/7168
     ];
 }

@@ -107,7 +107,6 @@ mod tests {
         assert_eq!(s.get(3), 3.0);
         assert_eq!(s.len(), 8);
         assert!(!s.is_empty());
-        drop(s);
         assert_eq!(v[3], 3.0);
     }
 
@@ -118,7 +117,6 @@ mod tests {
         let s = SyncSlice::new(&mut v);
         std::thread::scope(|scope| {
             for chunk in 0..4 {
-                let s = s;
                 scope.spawn(move || {
                     let lo = chunk * n / 4;
                     let hi = (chunk + 1) * n / 4;

@@ -319,7 +319,10 @@ pub struct VtiModel2 {
 impl VtiModel2 {
     /// Constant-parameter model.
     pub fn constant(e: Extent2, vp: f32, epsilon: f32, delta: f32, geom: Geometry) -> Self {
-        assert!(epsilon >= delta, "ε >= δ avoids the known pseudo-acoustic instability");
+        assert!(
+            epsilon >= delta,
+            "ε >= δ avoids the known pseudo-acoustic instability"
+        );
         assert!((0.0..1.0).contains(&epsilon));
         Self {
             vp: Field2::filled(e, vp),

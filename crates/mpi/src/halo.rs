@@ -187,7 +187,12 @@ mod tests {
                     let gz = slab.z0 - ghost + hz;
                     for ix in 0..nx {
                         let raw = hz * fnx + (ix + ghost);
-                        assert_eq!(f.as_slice()[raw], global(ix, gz), "rank {} low halo", ctx.rank());
+                        assert_eq!(
+                            f.as_slice()[raw],
+                            global(ix, gz),
+                            "rank {} low halo",
+                            ctx.rank()
+                        );
                     }
                 }
             }
@@ -196,7 +201,12 @@ mod tests {
                     let gz = slab.z1 + hz;
                     for ix in 0..nx {
                         let raw = (ghost + slab.nz() + hz) * fnx + (ix + ghost);
-                        assert_eq!(f.as_slice()[raw], global(ix, gz), "rank {} high halo", ctx.rank());
+                        assert_eq!(
+                            f.as_slice()[raw],
+                            global(ix, gz),
+                            "rank {} high halo",
+                            ctx.rank()
+                        );
                     }
                 }
             }

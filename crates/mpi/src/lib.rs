@@ -20,7 +20,9 @@
 //! * [`net`] — interconnect and CPU-socket *timing models* used by the
 //!   Table 3/4 baseline predictions ("Aries"-class CRAY XC30 vs the older
 //!   IBM cluster network, whose difference the paper blames for the CRAY
-//!   speedups being lower).
+//!   speedups being lower), plus a seeded message-drop/timeout model
+//!   ([`net::NetFaultPlan`]) whose retransmit cost the communicator
+//!   accounts without ever losing a payload.
 
 pub mod comm;
 pub mod decomp;
@@ -29,4 +31,4 @@ pub mod net;
 
 pub use comm::{Communicator, RankCtx, Request};
 pub use decomp::SlabDecomp;
-pub use net::{CpuSpec, Interconnect};
+pub use net::{CpuSpec, Interconnect, NetFaultPlan};

@@ -196,11 +196,8 @@ mod tests {
     /// CRAY prefers explicit `parallel`.
     #[test]
     fn construct_preference_flips_between_compilers() {
-        let nest = nest3().with_sched(&[
-            LoopSched::Gang,
-            LoopSched::Worker,
-            LoopSched::Vector(128),
-        ]);
+        let nest =
+            nest3().with_sched(&[LoopSched::Gang, LoopSched::Worker, LoopSched::Vector(128)]);
         let pgi = Compiler::Pgi(PgiVersion::V14_6);
         let pk = pgi.map(&nest, ConstructKind::Kernels, &[Clause::Independent], false);
         let pp = pgi.map(&nest, ConstructKind::Parallel, &[], false);
@@ -288,18 +285,30 @@ mod tests {
             &[Clause::Collapse(2)],
             false,
         );
-        let indep = pgi.map(&nest3(), ConstructKind::Kernels, &[Clause::Independent], false);
+        let indep = pgi.map(
+            &nest3(),
+            ConstructKind::Kernels,
+            &[Clause::Independent],
+            false,
+        );
         assert!(bare.quality > collapsed.quality);
         assert!((collapsed.quality - indep.quality).abs() < 1e-12);
         // 2D nests gridify fine without help.
-        let flat = pgi.map(&LoopNest::new(&[512, 512]), ConstructKind::Kernels, &[], false);
+        let flat = pgi.map(
+            &LoopNest::new(&[512, 512]),
+            ConstructKind::Kernels,
+            &[],
+            false,
+        );
         assert!((flat.quality - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn old_pgi_is_uniformly_slower() {
-        let old = Compiler::Pgi(PgiVersion::V13_7).map(&nest3(), ConstructKind::Kernels, &[], false);
-        let new = Compiler::Pgi(PgiVersion::V14_6).map(&nest3(), ConstructKind::Kernels, &[], false);
+        let old =
+            Compiler::Pgi(PgiVersion::V13_7).map(&nest3(), ConstructKind::Kernels, &[], false);
+        let new =
+            Compiler::Pgi(PgiVersion::V14_6).map(&nest3(), ConstructKind::Kernels, &[], false);
         assert!(old.quality > new.quality);
     }
 

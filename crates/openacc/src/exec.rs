@@ -33,17 +33,16 @@ where
     }
     let base = n / gangs;
     let rem = n % gangs;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let body = &body;
         let mut z = 0usize;
         for g in 0..gangs {
             let rows = base + usize::from(g < rem);
             let (z0, z1) = (z, z + rows);
             z = z1;
-            s.spawn(move |_| body(z0, z1));
+            s.spawn(move || body(z0, z1));
         }
-    })
-    .expect("gang thread panicked");
+    });
 }
 
 #[cfg(test)]
@@ -56,8 +55,8 @@ mod tests {
         let n = 103;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         par_slabs(n, 7, |z0, z1| {
-            for z in z0..z1 {
-                hits[z].fetch_add(1, Ordering::SeqCst);
+            for h in &hits[z0..z1] {
+                h.fetch_add(1, Ordering::SeqCst);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
@@ -87,6 +86,6 @@ mod tests {
     #[test]
     fn default_gangs_sane() {
         let g = default_gangs();
-        assert!(g >= 1 && g <= 16);
+        assert!((1..=16).contains(&g));
     }
 }

@@ -236,7 +236,12 @@ mod tests {
         let mut r = rt();
         let nest = LoopNest::new(&[128, 128, 128]);
         let t0 = r.elapsed();
-        let timing = r.launch(&desc(), &nest, ConstructKind::Kernels, &[Clause::Independent]);
+        let timing = r.launch(
+            &desc(),
+            &nest,
+            ConstructKind::Kernels,
+            &[Clause::Independent],
+        );
         assert!(r.elapsed() > t0);
         assert!(timing.exec_s > 0.0);
         assert_eq!(r.profiler().len(), 1);
@@ -298,7 +303,9 @@ mod tests {
             .unwrap();
         assert!(t > 0.0);
         r.exit_data_delete("u").unwrap();
-        assert!(r.update_device("u", None, TransferKind::Contiguous).is_err());
+        assert!(r
+            .update_device("u", None, TransferKind::Contiguous)
+            .is_err());
     }
 
     #[test]

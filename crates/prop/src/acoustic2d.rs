@@ -328,11 +328,19 @@ mod tests {
                 let pz = SyncSlice::new(par.psi_pz.as_mut_slice());
                 for (z0, z1) in [(0usize, 15usize), (15, 31), (31, 48)] {
                     velocity_slab(
-                        qx, qz, px, pz,
+                        qx,
+                        qz,
+                        px,
+                        pz,
                         par.p.as_slice(),
                         m.rho.as_slice(),
-                        e, m.geom.dx, m.geom.dz, m.geom.dt,
-                        &cpml, z0, z1,
+                        e,
+                        m.geom.dx,
+                        m.geom.dz,
+                        m.geom.dt,
+                        &cpml,
+                        z0,
+                        z1,
                     );
                 }
             }
@@ -342,11 +350,20 @@ mod tests {
                 let sz = SyncSlice::new(par.psi_qz.as_mut_slice());
                 for (z0, z1) in [(0usize, 7usize), (7, 30), (30, 48)] {
                     pressure_slab(
-                        p, sx, sz,
-                        par.qx.as_slice(), par.qz.as_slice(),
-                        m.vp.as_slice(), m.rho.as_slice(),
-                        e, m.geom.dx, m.geom.dz, m.geom.dt,
-                        &cpml, z0, z1,
+                        p,
+                        sx,
+                        sz,
+                        par.qx.as_slice(),
+                        par.qz.as_slice(),
+                        m.vp.as_slice(),
+                        m.rho.as_slice(),
+                        e,
+                        m.geom.dx,
+                        m.geom.dz,
+                        m.geom.dt,
+                        &cpml,
+                        z0,
+                        z1,
                     );
                 }
             }

@@ -74,7 +74,12 @@ impl Ac3State {
             let py = SyncSlice::new(self.psi_py.as_mut_slice());
             let pz = SyncSlice::new(self.psi_pz.as_mut_slice());
             velocity_slab(
-                qx, qy, qz, px, py, pz,
+                qx,
+                qy,
+                qz,
+                px,
+                py,
+                pz,
                 self.p.as_slice(),
                 model.rho.as_slice(),
                 e,
@@ -92,7 +97,10 @@ impl Ac3State {
                 let sy = SyncSlice::new(self.psi_qy.as_mut_slice());
                 let sz = SyncSlice::new(self.psi_qz.as_mut_slice());
                 pressure_fused_slab(
-                    p, sx, sy, sz,
+                    p,
+                    sx,
+                    sy,
+                    sz,
                     self.qx.as_slice(),
                     self.qy.as_slice(),
                     self.qz.as_slice(),
@@ -111,9 +119,18 @@ impl Ac3State {
                 for axis in 0..3 {
                     let p = SyncSlice::new(self.p.as_mut_slice());
                     let (psi, q) = match axis {
-                        0 => (SyncSlice::new(self.psi_qx.as_mut_slice()), self.qx.as_slice()),
-                        1 => (SyncSlice::new(self.psi_qy.as_mut_slice()), self.qy.as_slice()),
-                        _ => (SyncSlice::new(self.psi_qz.as_mut_slice()), self.qz.as_slice()),
+                        0 => (
+                            SyncSlice::new(self.psi_qx.as_mut_slice()),
+                            self.qx.as_slice(),
+                        ),
+                        1 => (
+                            SyncSlice::new(self.psi_qy.as_mut_slice()),
+                            self.qy.as_slice(),
+                        ),
+                        _ => (
+                            SyncSlice::new(self.psi_qz.as_mut_slice()),
+                            self.qz.as_slice(),
+                        ),
                     };
                     pressure_axis_slab(
                         p,
@@ -333,7 +350,13 @@ mod tests {
         let mut s = Ac3State::new(m.vp.extent());
         for t in 0..steps {
             s.step(&m, &cpml, variant);
-            s.inject(&m, n / 2, n / 2, 6, ricker(25.0, t as f32 * m.geom.dt - 0.048));
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                6,
+                ricker(25.0, t as f32 * m.geom.dt - 0.048),
+            );
         }
         s
     }

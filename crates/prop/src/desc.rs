@@ -43,13 +43,7 @@ impl KernelDesc {
     }
 }
 
-const fn k(
-    name: &'static str,
-    flops: f64,
-    reads: f64,
-    writes: f64,
-    regs: u32,
-) -> KernelDesc {
+const fn k(name: &'static str, flops: f64, reads: f64, writes: f64, regs: u32) -> KernelDesc {
     KernelDesc {
         name,
         flops,
@@ -190,7 +184,10 @@ mod tests {
         let iso = total(iso3d(IsoPmlVariant::OriginalIfs));
         let ac = total(acoustic3d(FissionVariant::Fused));
         let el = total(elastic3d());
-        assert!(iso < ac && ac < el, "iso {iso}, acoustic {ac}, elastic {el}");
+        assert!(
+            iso < ac && ac < el,
+            "iso {iso}, acoustic {ac}, elastic {el}"
+        );
     }
 
     #[test]

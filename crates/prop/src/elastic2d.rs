@@ -77,10 +77,19 @@ impl El2State {
             let p1 = SyncSlice::new(self.psi_sxx_x.as_mut_slice());
             let p2 = SyncSlice::new(self.psi_sxz_z.as_mut_slice());
             vx_slab(
-                vx, p1, p2,
-                self.sxx.as_slice(), self.sxz.as_slice(),
+                vx,
+                p1,
+                p2,
+                self.sxx.as_slice(),
+                self.sxz.as_slice(),
                 model.rho.as_slice(),
-                e, g.dx, g.dz, g.dt, cpml, 0, nz,
+                e,
+                g.dx,
+                g.dz,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -88,10 +97,19 @@ impl El2State {
             let p1 = SyncSlice::new(self.psi_sxz_x.as_mut_slice());
             let p2 = SyncSlice::new(self.psi_szz_z.as_mut_slice());
             vz_slab(
-                vz, p1, p2,
-                self.sxz.as_slice(), self.szz.as_slice(),
+                vz,
+                p1,
+                p2,
+                self.sxz.as_slice(),
+                self.szz.as_slice(),
                 model.rho.as_slice(),
-                e, g.dx, g.dz, g.dt, cpml, 0, nz,
+                e,
+                g.dx,
+                g.dz,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -100,10 +118,21 @@ impl El2State {
             let p1 = SyncSlice::new(self.psi_vx_x.as_mut_slice());
             let p2 = SyncSlice::new(self.psi_vz_z.as_mut_slice());
             stress_diag_slab(
-                sxx, szz, p1, p2,
-                self.vx.as_slice(), self.vz.as_slice(),
-                model.lam.as_slice(), model.mu.as_slice(),
-                e, g.dx, g.dz, g.dt, cpml, 0, nz,
+                sxx,
+                szz,
+                p1,
+                p2,
+                self.vx.as_slice(),
+                self.vz.as_slice(),
+                model.lam.as_slice(),
+                model.mu.as_slice(),
+                e,
+                g.dx,
+                g.dz,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -111,10 +140,19 @@ impl El2State {
             let p1 = SyncSlice::new(self.psi_vx_z.as_mut_slice());
             let p2 = SyncSlice::new(self.psi_vz_x.as_mut_slice());
             stress_shear_slab(
-                sxz, p1, p2,
-                self.vx.as_slice(), self.vz.as_slice(),
+                sxz,
+                p1,
+                p2,
+                self.vx.as_slice(),
+                self.vz.as_slice(),
                 model.mu.as_slice(),
-                e, g.dx, g.dz, g.dt, cpml, 0, nz,
+                e,
+                g.dx,
+                g.dz,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
     }
@@ -335,7 +373,12 @@ mod tests {
         let mut s = El2State::new(m.rho.extent());
         for t in 0..150 {
             s.step(&m, &cpml);
-            s.inject(&m, n / 2, n / 2, ricker(20.0, t as f32 * m.geom.dt - 0.06) * 1e6);
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                ricker(20.0, t as f32 * m.geom.dt - 0.06) * 1e6,
+            );
         }
         let mx = s.vx.max_abs().max(s.vz.max_abs());
         assert!(mx.is_finite() && mx > 0.0 && mx < 1e9, "max = {mx}");
@@ -381,7 +424,12 @@ mod tests {
         let mut s = El2State::new(m.rho.extent());
         for t in 0..80 {
             s.step(&m, &cpml);
-            s.inject(&m, n / 2, n / 2, ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6);
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6,
+            );
         }
         assert_eq!(s.sxz.max_abs(), 0.0);
         assert!(s.sxx.max_abs() > 0.0);
@@ -396,7 +444,12 @@ mod tests {
         for t in 0..900 {
             s.step(&m, &cpml);
             if t < 60 {
-                s.inject(&m, n / 2, n / 2, ricker(20.0, t as f32 * m.geom.dt - 0.06) * 1e6);
+                s.inject(
+                    &m,
+                    n / 2,
+                    n / 2,
+                    ricker(20.0, t as f32 * m.geom.dt - 0.06) * 1e6,
+                );
             }
             let e = s.vx.energy() + s.vz.energy();
             peak = peak.max(e);

@@ -97,9 +97,20 @@ impl El3State {
             let p1 = SyncSlice::new(b[0].as_mut_slice());
             let p2 = SyncSlice::new(rest2[0].as_mut_slice());
             vx_slab(
-                vxs, p0, p1, p2,
-                self.sxx.as_slice(), self.sxy.as_slice(), self.sxz.as_slice(),
-                model.rho.as_slice(), e, h, g.dt, cpml, 0, nz,
+                vxs,
+                p0,
+                p1,
+                p2,
+                self.sxx.as_slice(),
+                self.sxy.as_slice(),
+                self.sxz.as_slice(),
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -111,9 +122,20 @@ impl El3State {
             let p1 = SyncSlice::new(b[0].as_mut_slice());
             let p2 = SyncSlice::new(rest3[0].as_mut_slice());
             vy_slab(
-                vys, p0, p1, p2,
-                self.sxy.as_slice(), self.syy.as_slice(), self.syz.as_slice(),
-                model.rho.as_slice(), e, h, g.dt, cpml, 0, nz,
+                vys,
+                p0,
+                p1,
+                p2,
+                self.sxy.as_slice(),
+                self.syy.as_slice(),
+                self.syz.as_slice(),
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -125,9 +147,20 @@ impl El3State {
             let p1 = SyncSlice::new(b[0].as_mut_slice());
             let p2 = SyncSlice::new(rest3[0].as_mut_slice());
             vz_slab(
-                vzs, p0, p1, p2,
-                self.sxz.as_slice(), self.syz.as_slice(), self.szz.as_slice(),
-                model.rho.as_slice(), e, h, g.dt, cpml, 0, nz,
+                vzs,
+                p0,
+                p1,
+                p2,
+                self.sxz.as_slice(),
+                self.syz.as_slice(),
+                self.szz.as_slice(),
+                model.rho.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         // Stress kernels read velocities only.
@@ -142,10 +175,23 @@ impl El3State {
             let p1 = SyncSlice::new(b[0].as_mut_slice());
             let p2 = SyncSlice::new(rest3[0].as_mut_slice());
             stress_diag_slab(
-                sxx, syy, szz, p0, p1, p2,
-                self.vx.as_slice(), self.vy.as_slice(), self.vz.as_slice(),
-                model.lam.as_slice(), model.mu.as_slice(),
-                e, h, g.dt, cpml, 0, nz,
+                sxx,
+                syy,
+                szz,
+                p0,
+                p1,
+                p2,
+                self.vx.as_slice(),
+                self.vy.as_slice(),
+                self.vz.as_slice(),
+                model.lam.as_slice(),
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -160,9 +206,22 @@ impl El3State {
             let p2 = SyncSlice::new(c[0].as_mut_slice());
             let p3 = SyncSlice::new(rest4[0].as_mut_slice());
             stress_sxy_sxz_slab(
-                sxy, sxz, p0, p1, p2, p3,
-                self.vx.as_slice(), self.vy.as_slice(), self.vz.as_slice(),
-                model.mu.as_slice(), e, h, g.dt, cpml, 0, nz,
+                sxy,
+                sxz,
+                p0,
+                p1,
+                p2,
+                p3,
+                self.vx.as_slice(),
+                self.vy.as_slice(),
+                self.vz.as_slice(),
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
         {
@@ -172,9 +231,18 @@ impl El3State {
             let p0 = SyncSlice::new(a[0].as_mut_slice());
             let p1 = SyncSlice::new(rest2[0].as_mut_slice());
             stress_syz_slab(
-                syz, p0, p1,
-                self.vy.as_slice(), self.vz.as_slice(),
-                model.mu.as_slice(), e, h, g.dt, cpml, 0, nz,
+                syz,
+                p0,
+                p1,
+                self.vy.as_slice(),
+                self.vz.as_slice(),
+                model.mu.as_slice(),
+                e,
+                h,
+                g.dt,
+                cpml,
+                0,
+                nz,
             );
         }
     }
@@ -249,8 +317,7 @@ macro_rules! vel_kernel {
                         let d2v = $d2(s2, c, strides[2]) * rh[2];
                         let p2 = cc2.1 * psi2.get(c) + cc2.0 * d2v;
                         unsafe { psi2.set(c, p2) };
-                        let acc =
-                            (d0v * cc0.2 + p0) + (d1v * cc1.2 + p1) + (d2v * cc2.2 + p2);
+                        let acc = (d0v * cc0.2 + p0) + (d1v * cc1.2 + p1) + (d2v * cc2.2 + p2);
                         unsafe { v.add(c, dt / rho[c] * acc) };
                     }
                 }
@@ -466,7 +533,13 @@ mod tests {
         let mut s = El3State::new(m.rho.extent());
         for t in 0..60 {
             s.step(&m, &cpml);
-            s.inject(&m, n / 2, n / 2, n / 2, ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6);
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                n / 2,
+                ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6,
+            );
         }
         let mx = s.vx.max_abs().max(s.vy.max_abs()).max(s.vz.max_abs());
         assert!(mx.is_finite() && mx > 0.0 && mx < 1e9, "max = {mx}");
@@ -482,7 +555,13 @@ mod tests {
         let c = n / 2;
         for t in 0..50 {
             s.step(&m, &cpml);
-            s.inject(&m, c, c, c, ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6);
+            s.inject(
+                &m,
+                c,
+                c,
+                c,
+                ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6,
+            );
         }
         let mx = s.sxx.max_abs().max(1e-12);
         for d in 1..8 {
@@ -501,7 +580,13 @@ mod tests {
         let mut s = El3State::new(m.rho.extent());
         for t in 0..40 {
             s.step(&m, &cpml);
-            s.inject(&m, 12, 12, 12, ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6);
+            s.inject(
+                &m,
+                12,
+                12,
+                12,
+                ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6,
+            );
         }
         assert_eq!(s.sxy.max_abs(), 0.0);
         assert_eq!(s.sxz.max_abs(), 0.0);
@@ -518,7 +603,13 @@ mod tests {
         for t in 0..260 {
             s.step(&m, &cpml);
             if t < 30 {
-                s.inject(&m, 14, 14, 14, ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6);
+                s.inject(
+                    &m,
+                    14,
+                    14,
+                    14,
+                    ricker(25.0, t as f32 * m.geom.dt - 0.048) * 1e6,
+                );
             }
             let e = s.vx.energy() + s.vy.energy() + s.vz.energy();
             peak = peak.max(e);
@@ -534,8 +625,18 @@ mod tests {
         let h = 10.0;
         let dt = stable_dt(8, 3, 3200.0, h, 0.5);
         let layers = [
-            Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-            Layer { z_top: n / 2, vp: 3200.0, vs: 1800.0, rho: 2400.0 },
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: n / 2,
+                vp: 3200.0,
+                vs: 1800.0,
+                rho: 2400.0,
+            },
         ];
         let m = elastic3_layered(e, &layers, Geometry::uniform(h, dt));
         let c = CpmlAxis::new(n, e.halo, 6, dt, 3200.0, h, 1e-4);
@@ -543,7 +644,13 @@ mod tests {
         let mut s = El3State::new(e);
         for t in 0..60 {
             s.step(&m, &cpml);
-            s.inject(&m, n / 2, n / 2, 4, ricker(25.0, t as f32 * dt - 0.048) * 1e6);
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                4,
+                ricker(25.0, t as f32 * dt - 0.048) * 1e6,
+            );
         }
         assert!(s.vz.max_abs().is_finite());
         assert!(s.vz.max_abs() > 0.0);

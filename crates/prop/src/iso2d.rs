@@ -88,7 +88,16 @@ fn lap2(u: &[f32], c: usize, fnx: usize, rdx2: f32, rdz2: f32) -> f32 {
 
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn plain_update(u: &SyncSlice, u_cur: &[f32], vp: &[f32], c: usize, fnx: usize, dt2: f32, rdx2: f32, rdz2: f32) {
+fn plain_update(
+    u: &SyncSlice,
+    u_cur: &[f32],
+    vp: &[f32],
+    c: usize,
+    fnx: usize,
+    dt2: f32,
+    rdx2: f32,
+    rdz2: f32,
+) {
     let v = vp[c];
     let lap = lap2(u_cur, c, fnx, rdx2, rdz2);
     let next = 2.0 * u_cur[c] - u.get(c) + dt2 * v * v * lap;
@@ -112,8 +121,8 @@ fn damped_update(
 ) {
     let v = vp[c];
     let lap = lap2(u_cur, c, fnx, rdx2, rdz2);
-    let next = (2.0 * u_cur[c] - (1.0 - sigma * dt) * u.get(c) + dt2 * v * v * lap)
-        / (1.0 + sigma * dt);
+    let next =
+        (2.0 * u_cur[c] - (1.0 - sigma * dt) * u.get(c) + dt2 * v * v * lap) / (1.0 + sigma * dt);
     // Safety: each slab writes only its own rows.
     unsafe { u.set(c, next) };
 }
@@ -297,7 +306,7 @@ mod tests {
         }
         let elapsed = steps as f32 * m.geom.dt - t0; // since wavelet peak
         let expect_r = 2000.0 * elapsed / m.geom.dx; // in grid points
-        // Scan along +x from the source for the absolute peak.
+                                                     // Scan along +x from the source for the absolute peak.
         let mut best = (0usize, 0.0f32);
         for r in 5..n / 2 - 2 {
             let v = s.u_cur.get(n / 2 + r, n / 2).abs();

@@ -29,12 +29,7 @@ impl Iso3State {
     }
 
     /// Advance one time step over the full interior and swap time levels.
-    pub fn step(
-        &mut self,
-        model: &IsoModel3,
-        damp: &[DampProfile; 3],
-        variant: IsoPmlVariant,
-    ) {
+    pub fn step(&mut self, model: &IsoModel3, damp: &[DampProfile; 3], variant: IsoPmlVariant) {
         let e = self.u_cur.extent();
         let nz = e.nz;
         let u = SyncSlice::new(self.u_prev.as_mut_slice());
@@ -92,7 +87,11 @@ pub fn step_slab(
     let fnx = e.full_nx();
     let fnxy = fnx * e.full_ny();
     let dt2 = dt * dt;
-    let r2 = [1.0 / (h[0] * h[0]), 1.0 / (h[1] * h[1]), 1.0 / (h[2] * h[2])];
+    let r2 = [
+        1.0 / (h[0] * h[0]),
+        1.0 / (h[1] * h[1]),
+        1.0 / (h[2] * h[2]),
+    ];
     let [dpx, dpy, dpz] = damp;
     let w = dpx.width();
 
@@ -191,7 +190,13 @@ mod tests {
         let mut s = Iso3State::new(m.vp.extent());
         for t in 0..steps {
             s.step(&m, &damp, variant);
-            s.inject(&m, n / 2, n / 2, n / 2, ricker(30.0, t as f32 * m.geom.dt - 0.04));
+            s.inject(
+                &m,
+                n / 2,
+                n / 2,
+                n / 2,
+                ricker(30.0, t as f32 * m.geom.dt - 0.04),
+            );
         }
         s
     }

@@ -275,10 +275,21 @@ mod tests {
                 let q = SyncSlice::new(par.q_prev.as_mut_slice());
                 for (z0, z1) in [(0usize, 17usize), (17, 32), (32, 48)] {
                     step_slab(
-                        p, q,
-                        par.p_cur.as_slice(), par.q_cur.as_slice(),
-                        m.vp.as_slice(), m.epsilon.as_slice(), m.delta.as_slice(),
-                        e, m.geom.dx, m.geom.dz, m.geom.dt, &d, &d, z0, z1,
+                        p,
+                        q,
+                        par.p_cur.as_slice(),
+                        par.q_cur.as_slice(),
+                        m.vp.as_slice(),
+                        m.epsilon.as_slice(),
+                        m.delta.as_slice(),
+                        e,
+                        m.geom.dx,
+                        m.geom.dz,
+                        m.geom.dt,
+                        &d,
+                        &d,
+                        z0,
+                        z1,
                     );
                 }
                 par.p_prev.swap(&mut par.p_cur);

@@ -46,11 +46,11 @@ pub fn cache_clause_ablation() -> Vec<(&'static str, f64, f64)> {
             let mut without = 0.0;
             let mut with = 0.0;
             for d in &descs {
-                let base = KernelProfile::new(d.name, w.points(), d.flops, d.bytes_per_point(), d.regs);
+                let base =
+                    KernelProfile::new(d.name, w.points(), d.flops, d.bytes_per_point(), d.regs);
                 without += time_kernel(&dev, &base).exec_s;
                 let staged = KernelProfile {
-                    bytes_per_point: 4.0
-                        * (d.reads * WORKING_CACHE_CLAUSE_READ_FACTOR + d.writes),
+                    bytes_per_point: 4.0 * (d.reads * WORKING_CACHE_CLAUSE_READ_FACTOR + d.writes),
                     // Staging costs a few registers for the tile indices.
                     regs_needed: d.regs + 6,
                     ..base
@@ -73,8 +73,14 @@ pub fn pinned_memory_ablation() -> (f64, f64) {
     let cfg = OptimizationConfig::default();
     // The runtime always uses pinned buffers; reconstruct the pageable
     // variant by re-pricing its transfers at pageable bandwidth.
-    let run = rtm_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm, &w)
-        .expect("2D fits");
+    let run = rtm_time(
+        &case,
+        &cfg,
+        Compiler::Pgi(PgiVersion::V14_3),
+        Cluster::Ibm,
+        &w,
+    )
+    .expect("2D fits");
     let pinned_total = run.breakdown.total_s;
     let dev = Cluster::Ibm.device();
     let ratio = {
@@ -97,7 +103,12 @@ pub fn partial_transfer_ablation() -> (f64, f64) {
     let dev = Cluster::CrayXc30.device();
     let wf_bytes = w.alloc_points(seismic_grid::STENCIL_HALF) * 4;
     let per_step_partial = 2.0
-        * transfer_time(&dev, wf_bytes / 8, HostAlloc::Pinned, TransferKind::Contiguous);
+        * transfer_time(
+            &dev,
+            wf_bytes / 8,
+            HostAlloc::Pinned,
+            TransferKind::Contiguous,
+        );
     let per_step_full =
         2.0 * transfer_time(&dev, wf_bytes, HostAlloc::Pinned, TransferKind::Contiguous);
     (

@@ -1,8 +1,7 @@
 //! Ablation studies over the design choices DESIGN.md calls out.
 
 use repro::ablation::{
-    cache_clause_ablation, partial_transfer_ablation, pinned_memory_ablation,
-    pml_width_ablation,
+    cache_clause_ablation, partial_transfer_ablation, pinned_memory_ablation, pml_width_ablation,
 };
 
 fn main() {
@@ -18,11 +17,17 @@ fn main() {
 
     let (pageable, pinned) = pinned_memory_ablation();
     println!("\nAblation 2: the `pin` compile option (isotropic 2D RTM, M2090)");
-    println!("  pageable {pageable:7.1} s   pinned {pinned:7.1} s   gain {:.2}x", pageable / pinned);
+    println!(
+        "  pageable {pageable:7.1} s   pinned {pinned:7.1} s   gain {:.2}x",
+        pageable / pinned
+    );
 
     let (full, partial) = partial_transfer_ablation();
     println!("\nAblation 3: partial vs full-field consistency transfers (iso 3D RTM)");
-    println!("  full-field {full:8.1} s   partial {partial:8.1} s   gain {:.1}x", full / partial);
+    println!(
+        "  full-field {full:8.1} s   partial {partial:8.1} s   gain {:.1}x",
+        full / partial
+    );
 
     println!("\nAblation 4: C-PML width vs residual boundary energy (real execution)");
     for (width, residual) in pml_width_ablation() {

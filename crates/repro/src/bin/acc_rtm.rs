@@ -140,7 +140,10 @@ fn cmd_model(flags: HashMap<String, String>) {
     let freq: f32 = get(&flags, "freq", 18.0);
     let gangs: usize = get(&flags, "gangs", openacc_sim::exec::default_gangs());
     let snap: usize = get(&flags, "snap", (steps / 6).max(1));
-    let formulation = flags.get("formulation").map(String::as_str).unwrap_or("acoustic");
+    let formulation = flags
+        .get("formulation")
+        .map(String::as_str)
+        .unwrap_or("acoustic");
     let out: Option<String> = flags.get("out").cloned();
 
     let (medium, dt) = build_medium(formulation, n, 10.0);
@@ -169,7 +172,10 @@ fn cmd_model(flags: HashMap<String, String>) {
             let p = PathBuf::from(format!("out/{prefix}_snap{i}.pgm"));
             write_pgm(s, &p).expect("write PGM");
         }
-        println!("wrote {} snapshots under out/{prefix}_snap*.pgm", r.snapshots.len());
+        println!(
+            "wrote {} snapshots under out/{prefix}_snap*.pgm",
+            r.snapshots.len()
+        );
     }
 }
 
@@ -188,19 +194,39 @@ fn cmd_rtm(flags: HashMap<String, String>) {
     let model = match model_kind {
         "layered" => {
             let layers = [
-                seismic_model::builder::Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-                seismic_model::builder::Layer { z_top: n / 2, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+                seismic_model::builder::Layer {
+                    z_top: 0,
+                    vp: 1500.0,
+                    vs: 0.0,
+                    rho: 1000.0,
+                },
+                seismic_model::builder::Layer {
+                    z_top: n / 2,
+                    vp: 3000.0,
+                    vs: 0.0,
+                    rho: 2400.0,
+                },
             ];
             acoustic2_layered(e, &layers, Geometry::uniform(h, dt))
         }
-        "wedge" => acoustic2_wedge(e, 1500.0, 3000.0, 7 * n / 16, 9 * n / 16, Geometry::uniform(h, dt)),
+        "wedge" => acoustic2_wedge(
+            e,
+            1500.0,
+            3000.0,
+            7 * n / 16,
+            9 * n / 16,
+            Geometry::uniform(h, dt),
+        ),
         other => {
             eprintln!("unknown model: {other} (layered|wedge)");
             exit(2)
         }
     };
     let c = CpmlAxis::new(n, e.halo, 14, dt, 3000.0, h, 1e-4);
-    let medium = Medium2::Acoustic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    };
     println!("RTM: {model_kind} model, {n}x{n}, {shots} shot(s), {steps} steps each");
 
     let mut stack = Field2::zeros(e);
@@ -231,7 +257,10 @@ fn cmd_rtm(flags: HashMap<String, String>) {
         .take(n - 40)
         .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
-    println!("\nimage peak depth: z = {z_peak} (true interface around z = {})", n / 2);
+    println!(
+        "\nimage peak depth: z = {z_peak} (true interface around z = {})",
+        n / 2
+    );
     if let Some(prefix) = out {
         std::fs::create_dir_all("out").ok();
         let p = PathBuf::from(format!("out/{prefix}_image.pgm"));
@@ -263,7 +292,11 @@ fn cmd_simulate(flags: HashMap<String, String>) {
             exit(2)
         }
     };
-    let compiler = match flags.get("compiler").map(String::as_str).unwrap_or("pgi146") {
+    let compiler = match flags
+        .get("compiler")
+        .map(String::as_str)
+        .unwrap_or("pgi146")
+    {
         "cray" => CRAY_COMPILER,
         "pgi143" => PGI_ON_IBM,
         "pgi146" => PGI_ON_CRAY,
@@ -297,7 +330,10 @@ fn cmd_simulate(flags: HashMap<String, String>) {
                 "total {:.1} s  (kernels {:.1} s, transfers {:.1} s)",
                 r.breakdown.total_s, r.breakdown.kernel_s, r.breakdown.transfer_s
             );
-            println!("\nprofiler:\n{}", r.runtime.profiler().render(cluster.device().name));
+            println!(
+                "\nprofiler:\n{}",
+                r.runtime.profiler().render(cluster.device().name)
+            );
             if let Some(path) = flags.get("trace") {
                 let json = r
                     .runtime

@@ -20,7 +20,10 @@ fn main() {
         dims: Dims::Three,
     };
     let base = table_workload(&case);
-    println!("Acoustic 3D modeling speedup vs grid size ({} steps):\n", base.steps / 4);
+    println!(
+        "Acoustic 3D modeling speedup vs grid size ({} steps):\n",
+        base.steps / 4
+    );
     println!(
         "{:>7} {:>14} {:>14} {:>12} | {:>14} {:>14} {:>12}",
         "grid", "K40 (s)", "CRAY CPU (s)", "speedup", "M2090 (s)", "IBM CPU (s)", "speedup"

@@ -18,7 +18,10 @@ fn main() {
     let dt = stable_dt(8, 2, 3200.0, h, 0.6);
     let model = acoustic2_layered(e, &standard_layers(n), Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 16, dt, 3200.0, h, 1e-4);
-    let medium = Medium2::Acoustic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    };
     let acq = Acquisition2::surface_line(n, n / 2, 6, 4, 4);
     let r = run_modeling(
         &medium,

@@ -18,12 +18,25 @@ fn main() {
     let h = 10.0;
     let dt = stable_dt(8, 2, 3000.0, h, 0.6);
     let layers = [
-        Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-        Layer { z_top: z_if, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+        Layer {
+            z_top: 0,
+            vp: 1500.0,
+            vs: 0.0,
+            rho: 1000.0,
+        },
+        Layer {
+            z_top: z_if,
+            vp: 3000.0,
+            vs: 0.0,
+            rho: 2400.0,
+        },
     ];
     let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 14, dt, 3000.0, h, 1e-4);
-    let medium = Medium2::Acoustic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    };
     let acq = Acquisition2::surface_line(n, n / 2, 6, 6, 2);
     println!("Figure 5: RTM image of a two-layer acoustic model (reflector at z = {z_if})");
     let r = run_rtm(
@@ -47,6 +60,9 @@ fn main() {
         .take(n - 40)
         .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
-    println!("\nimage peak depth: z = {z_peak} (reflector at {z_if}); {} snapshots used", r.snapshots_saved);
+    println!(
+        "\nimage peak depth: z = {z_peak} (reflector at {z_if}); {} snapshots used",
+        r.snapshots_saved
+    );
     println!("(written to out/fig05_rtm_image.pgm)");
 }

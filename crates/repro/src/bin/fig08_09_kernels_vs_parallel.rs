@@ -10,7 +10,10 @@ fn main() {
             "Figure {fig}: Acoustic Modeling {} (CRAY compiler) — time for 200 steps",
             if dims == Dims::Two { "2D" } else { "3D" }
         );
-        println!("  {:>8} {:>14} {:>14} {:>8}", "grid", "kernels (s)", "parallel (s)", "ratio");
+        println!(
+            "  {:>8} {:>14} {:>14} {:>8}",
+            "grid", "kernels (s)", "parallel (s)", "ratio"
+        );
         for (n, k, p) in fig8_9(dims) {
             println!("  {:>8} {:>14.2} {:>14.2} {:>8.2}", n, k, p, k / p);
         }

@@ -8,6 +8,9 @@ fn main() {
     println!("Figure 11: Elastic Modeling 2D (CRAY compiler), sync vs async streams");
     println!("  synchronous: {sync_s:8.2} s");
     println!("  async:       {async_s:8.2} s");
-    println!("  reduction:   {:5.1} %  (paper: ~30 %)", (1.0 - async_s / sync_s) * 100.0);
+    println!(
+        "  reduction:   {:5.1} %  (paper: ~30 %)",
+        (1.0 - async_s / sync_s) * 100.0
+    );
     println!("\nSimulated profiler (async run):\n{profile}");
 }

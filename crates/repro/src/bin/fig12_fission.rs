@@ -6,9 +6,24 @@ use repro::figures::fig12;
 fn main() {
     let ((f_fused, f_fiss), (k_fused, k_fiss)) = fig12();
     println!("Figure 12: Acoustic 3D — fused vs fissioned pressure kernel (kernel time)");
-    println!("  {:>22} {:>10} {:>12} {:>8}", "card", "fused (s)", "fissioned (s)", "gain");
-    println!("  {:>22} {:>10.0} {:>12.0} {:>7.1}x", "M2090 (Fermi)", f_fused, f_fiss, f_fused / f_fiss);
-    println!("  {:>22} {:>10.0} {:>12.0} {:>7.1}x", "K40 (Kepler)", k_fused, k_fiss, k_fused / k_fiss);
+    println!(
+        "  {:>22} {:>10} {:>12} {:>8}",
+        "card", "fused (s)", "fissioned (s)", "gain"
+    );
+    println!(
+        "  {:>22} {:>10.0} {:>12.0} {:>7.1}x",
+        "M2090 (Fermi)",
+        f_fused,
+        f_fiss,
+        f_fused / f_fiss
+    );
+    println!(
+        "  {:>22} {:>10.0} {:>12.0} {:>7.1}x",
+        "K40 (Kepler)",
+        k_fused,
+        k_fiss,
+        k_fused / k_fiss
+    );
     println!("\nShape: \"A 3x speedup was gained after applying loop fission ... on");
     println!("M2090 ... That was not the case though on Kepler card, as the register");
     println!("per thread count is doubled with 255 registers per thread.\"");

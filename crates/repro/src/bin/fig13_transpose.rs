@@ -6,9 +6,24 @@ use repro::figures::fig13;
 fn main() {
     let ((f_dir, f_tr), (k_dir, k_tr)) = fig13();
     println!("Figure 13: Acoustic 2D backward kernel — direct vs transposed (kernel time)");
-    println!("  {:>22} {:>11} {:>13} {:>8}", "card", "direct (s)", "transposed (s)", "gain");
-    println!("  {:>22} {:>11.1} {:>13.1} {:>7.1}x", "M2090 (PGI)", f_dir, f_tr, f_dir / f_tr);
-    println!("  {:>22} {:>11.1} {:>13.1} {:>7.1}x", "K40 (CRAY)", k_dir, k_tr, k_dir / k_tr);
+    println!(
+        "  {:>22} {:>11} {:>13} {:>8}",
+        "card", "direct (s)", "transposed (s)", "gain"
+    );
+    println!(
+        "  {:>22} {:>11.1} {:>13.1} {:>7.1}x",
+        "M2090 (PGI)",
+        f_dir,
+        f_tr,
+        f_dir / f_tr
+    );
+    println!(
+        "  {:>22} {:>11.1} {:>13.1} {:>7.1}x",
+        "K40 (CRAY)",
+        k_dir,
+        k_tr,
+        k_dir / k_tr
+    );
     println!("\nShape: \"This technique allows us to gain a 3x speedup compared with");
     println!("the original code on both GPU cards using PGI and CRAY compilers.\"");
 }

@@ -5,9 +5,15 @@ use repro::figures::fig14_15;
 
 fn main() {
     let (cpu_prof, cpu_share, gpu_prof, gpu_share) = fig14_15();
-    println!("Figure 14: image computed on CPU (main kernel share {:.1} %)", cpu_share * 100.0);
+    println!(
+        "Figure 14: image computed on CPU (main kernel share {:.1} %)",
+        cpu_share * 100.0
+    );
     println!("{cpu_prof}");
-    println!("Figure 15: image computed on GPU (main kernel share {:.1} %)", gpu_share * 100.0);
+    println!(
+        "Figure 15: image computed on GPU (main kernel share {:.1} %)",
+        gpu_share * 100.0
+    );
     println!("{gpu_prof}");
     println!("Shape: source injection utilization is tiny, receiver injection modest,");
     println!("and the main kernel's share \"was almost the same\" in both placements.");

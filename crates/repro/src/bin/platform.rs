@@ -11,11 +11,26 @@ fn main() {
         let c: CpuSpec = cluster.cpu();
         let n: Interconnect = cluster.interconnect();
         println!("[{}]", cluster.label());
-        println!("  GPU: {} — {} cores, {:.0} GFLOPS SP, {:.0} GB/s, {} GB, regs/thread <= {}",
-            d.name, d.cuda_cores, d.peak_gflops_sp, d.mem_bandwidth_gbs,
-            d.global_mem_bytes >> 30, d.max_regs_per_thread);
-    println!("  CPU: {} — {} ranks in the full-socket baseline", c.name, cluster.baseline_ranks());
-        println!("  Net: {} — {:.1} us latency, {:.0} GB/s", n.name, n.latency_s * 1e6, n.bandwidth_bs / 1e9);
+        println!(
+            "  GPU: {} — {} cores, {:.0} GFLOPS SP, {:.0} GB/s, {} GB, regs/thread <= {}",
+            d.name,
+            d.cuda_cores,
+            d.peak_gflops_sp,
+            d.mem_bandwidth_gbs,
+            d.global_mem_bytes >> 30,
+            d.max_regs_per_thread
+        );
+        println!(
+            "  CPU: {} — {} ranks in the full-socket baseline",
+            c.name,
+            cluster.baseline_ranks()
+        );
+        println!(
+            "  Net: {} — {:.1} us latency, {:.0} GB/s",
+            n.name,
+            n.latency_s * 1e6,
+            n.bandwidth_bs / 1e9
+        );
         println!();
     }
 }

@@ -54,13 +54,10 @@ fn main() {
             ),
             ("Fig 8/9: parallel beats kernels under CRAY", f89_ok),
             ("Fig 10: maxregcount 64 optimal on the K40", best10 == 64),
-            (
-                "Fig 11: CRAY async saves 10-45 %",
-                {
-                    let g = 1.0 - async_s / sync_s;
-                    (0.10..0.45).contains(&g)
-                },
-            ),
+            ("Fig 11: CRAY async saves 10-45 %", {
+                let g = 1.0 - async_s / sync_s;
+                (0.10..0.45).contains(&g)
+            }),
             (
                 "Fig 12: fission >2x on Fermi, <1.3x on Kepler",
                 ff / fi > 2.0 && kf / ki < 1.3,

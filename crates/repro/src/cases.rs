@@ -90,7 +90,7 @@ mod tests {
                     assert!(bytes < 6 * GB, "{:?} must fit Fermi", case);
                 }
                 (_, Dims::Two) => {
-                    assert!(bytes < 1 * GB, "2D cases are small");
+                    assert!(bytes < GB, "2D cases are small");
                 }
             }
         }

@@ -94,12 +94,16 @@ pub fn fig8_9(dims: Dims) -> Vec<(usize, f64, f64)> {
             let mut t_parallel = 0.0;
             let mut t_kernels = 0.0;
             for s in phases.iter().flatten() {
-                let mut rt_p =
-                    openacc_sim::AccRuntime::new(Cluster::CrayXc30.device().clone(), Compiler::Cray);
+                let mut rt_p = openacc_sim::AccRuntime::new(
+                    Cluster::CrayXc30.device().clone(),
+                    Compiler::Cray,
+                );
                 rt_p.launch(&s.desc, &s.nest, s.kind, &s.clauses);
                 t_parallel += rt_p.elapsed();
-                let mut rt_k =
-                    openacc_sim::AccRuntime::new(Cluster::CrayXc30.device().clone(), Compiler::Cray);
+                let mut rt_k = openacc_sim::AccRuntime::new(
+                    Cluster::CrayXc30.device().clone(),
+                    Compiler::Cray,
+                );
                 // The kernels construct: no explicit loop scheduling.
                 let bare = LoopNest::new(&s.nest.sizes);
                 rt_k.launch(&s.desc, &bare, ConstructKind::Kernels, &s.clauses);
@@ -130,14 +134,26 @@ pub fn fig10() -> Vec<(u32, f64, f64)> {
                 maxregcount: Some(m),
                 ..OptimizationConfig::default()
             };
-            let k40 = modeling_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_6), Cluster::CrayXc30, &w)
-                .expect("fits K40")
-                .breakdown
-                .total_s;
-            let m2090 = modeling_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm, &w)
-                .expect("reduced grid fits M2090")
-                .breakdown
-                .total_s;
+            let k40 = modeling_time(
+                &case,
+                &cfg,
+                Compiler::Pgi(PgiVersion::V14_6),
+                Cluster::CrayXc30,
+                &w,
+            )
+            .expect("fits K40")
+            .breakdown
+            .total_s;
+            let m2090 = modeling_time(
+                &case,
+                &cfg,
+                Compiler::Pgi(PgiVersion::V14_3),
+                Cluster::Ibm,
+                &w,
+            )
+            .expect("reduced grid fits M2090")
+            .breakdown
+            .total_s;
             (m, k40, m2090)
         })
         .collect()
@@ -172,7 +188,8 @@ pub fn fig11() -> (f64, f64, String) {
         .expect("fits")
         .breakdown
         .total_s;
-    let a_run = modeling_time(&case, &async_cfg, Compiler::Cray, Cluster::CrayXc30, &w).expect("fits");
+    let a_run =
+        modeling_time(&case, &async_cfg, Compiler::Cray, Cluster::CrayXc30, &w).expect("fits");
     let profile = a_run.runtime.profiler().render("Tesla K40 (CRAY, async)");
     (s, a_run.breakdown.total_s, profile)
 }
@@ -196,12 +213,28 @@ pub fn fig12() -> ((f64, f64), (f64, f64)) {
             .kernel_s
     };
     let fermi = (
-        run(FissionVariant::Fused, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm),
-        run(FissionVariant::Fissioned, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm),
+        run(
+            FissionVariant::Fused,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+        ),
+        run(
+            FissionVariant::Fissioned,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+        ),
     );
     let kepler = (
-        run(FissionVariant::Fused, Compiler::Pgi(PgiVersion::V14_6), Cluster::CrayXc30),
-        run(FissionVariant::Fissioned, Compiler::Pgi(PgiVersion::V14_6), Cluster::CrayXc30),
+        run(
+            FissionVariant::Fused,
+            Compiler::Pgi(PgiVersion::V14_6),
+            Cluster::CrayXc30,
+        ),
+        run(
+            FissionVariant::Fissioned,
+            Compiler::Pgi(PgiVersion::V14_6),
+            Cluster::CrayXc30,
+        ),
     );
     (fermi, kepler)
 }
@@ -222,12 +255,24 @@ pub fn fig13() -> ((f64, f64), (f64, f64)) {
             .kernel_s
     };
     let fermi = (
-        run(TransposeVariant::Direct, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm),
-        run(TransposeVariant::Transposed, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm),
+        run(
+            TransposeVariant::Direct,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+        ),
+        run(
+            TransposeVariant::Transposed,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+        ),
     );
     let kepler = (
         run(TransposeVariant::Direct, Compiler::Cray, Cluster::CrayXc30),
-        run(TransposeVariant::Transposed, Compiler::Cray, Cluster::CrayXc30),
+        run(
+            TransposeVariant::Transposed,
+            Compiler::Cray,
+            Cluster::CrayXc30,
+        ),
     );
     (fermi, kepler)
 }
@@ -246,7 +291,14 @@ pub fn fig14_15() -> (String, f64, String, f64) {
             image_placement: placement,
             ..OptimizationConfig::default()
         };
-        rtm_time(&case, &cfg, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm, &w).expect("2D fits")
+        rtm_time(
+            &case,
+            &cfg,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+            &w,
+        )
+        .expect("2D fits")
     };
     let cpu = run(ImagePlacement::Cpu);
     let gpu = run(ImagePlacement::Gpu);
@@ -312,16 +364,8 @@ mod tests {
     #[test]
     fn fig10_best_at_64() {
         let series = fig10();
-        let best_k40 = series
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
-        let best_m2090 = series
-            .iter()
-            .min_by(|a, b| a.2.total_cmp(&b.2))
-            .unwrap()
-            .0;
+        let best_k40 = series.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+        let best_m2090 = series.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap().0;
         assert_eq!(best_k40, 64, "{series:?}");
         // Fermi's HW cap is 63: 64 and above clamp to the same code, so any
         // of {64, 128, 255} ties; the minimum must not be a spilling cap.

@@ -10,7 +10,9 @@
 //! * [`table`] — Table 3/4 generation with paper-vs-model comparison,
 //! * [`figures`] — data series for Figures 6–15,
 //! * [`render`] — ASCII / PGM rendering of wavefields and images
-//!   (Figures 3 and 5).
+//!   (Figures 3 and 5),
+//! * [`resilience`] — overhead-vs-MTTI sweeps of the fault-tolerant
+//!   executor and checkpoint-restart recompute measurements.
 //!
 //! [`ablation`] adds studies of the design choices DESIGN.md calls out
 //! (working tile/cache clauses, pinned memory, partial transfers, C-PML
@@ -24,4 +26,5 @@ pub mod cases;
 pub mod figures;
 pub mod paper;
 pub mod render;
+pub mod resilience;
 pub mod table;

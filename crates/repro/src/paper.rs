@@ -40,11 +40,7 @@ pub struct PaperRow {
 }
 
 #[allow(clippy::too_many_arguments)]
-const fn row(
-    formulation: Formulation,
-    dims: Dims,
-    v: [Option<f64>; 12],
-) -> PaperRow {
+const fn row(formulation: Formulation, dims: Dims, v: [Option<f64>; 12]) -> PaperRow {
     PaperRow {
         formulation,
         dims,
@@ -70,12 +66,114 @@ pub fn table3() -> [PaperRow; 6] {
     use Dims::*;
     use Formulation::*;
     [
-        row(Isotropic, Two, [S(2.3), S(1.4), S(0.6), S(1.0), S(1.6), S(1.0), S(0.7), S(1.1), S(2.0), S(2.0), S(1.5), S(2.3)]),
-        row(Acoustic, Two, [S(4.1), S(3.2), S(0.7), S(0.9), S(3.4), S(2.7), S(0.9), S(1.1), S(5.0), S(1.3), S(4.4), S(1.2)]),
-        row(Elastic, Two, [S(7.0), S(4.5), S(0.9), S(1.2), S(6.6), S(4.3), S(0.7), S(1.1), S(7.0), S(1.9), S(4.8), S(2.4)]),
-        row(Isotropic, Three, [S(460.0), S(365.0), S(1.0), S(1.3), S(365.0), S(285.0), S(0.9), S(1.2), S(448.0), S(1.2), S(385.0), S(1.0)]),
-        row(Acoustic, Three, [S(310.0), S(235.0), S(1.5), S(2.0), S(220.0), S(155.0), S(1.2), S(1.7), S(260.0), S(2.3), S(200.0), S(2.3)]),
-        row(Elastic, Three, [S(4000.0), S(3200.0), S(2.1), S(2.7), S(3100.0), S(2700.0), S(2.4), S(2.7), None, None, None, None]),
+        row(
+            Isotropic,
+            Two,
+            [
+                S(2.3),
+                S(1.4),
+                S(0.6),
+                S(1.0),
+                S(1.6),
+                S(1.0),
+                S(0.7),
+                S(1.1),
+                S(2.0),
+                S(2.0),
+                S(1.5),
+                S(2.3),
+            ],
+        ),
+        row(
+            Acoustic,
+            Two,
+            [
+                S(4.1),
+                S(3.2),
+                S(0.7),
+                S(0.9),
+                S(3.4),
+                S(2.7),
+                S(0.9),
+                S(1.1),
+                S(5.0),
+                S(1.3),
+                S(4.4),
+                S(1.2),
+            ],
+        ),
+        row(
+            Elastic,
+            Two,
+            [
+                S(7.0),
+                S(4.5),
+                S(0.9),
+                S(1.2),
+                S(6.6),
+                S(4.3),
+                S(0.7),
+                S(1.1),
+                S(7.0),
+                S(1.9),
+                S(4.8),
+                S(2.4),
+            ],
+        ),
+        row(
+            Isotropic,
+            Three,
+            [
+                S(460.0),
+                S(365.0),
+                S(1.0),
+                S(1.3),
+                S(365.0),
+                S(285.0),
+                S(0.9),
+                S(1.2),
+                S(448.0),
+                S(1.2),
+                S(385.0),
+                S(1.0),
+            ],
+        ),
+        row(
+            Acoustic,
+            Three,
+            [
+                S(310.0),
+                S(235.0),
+                S(1.5),
+                S(2.0),
+                S(220.0),
+                S(155.0),
+                S(1.2),
+                S(1.7),
+                S(260.0),
+                S(2.3),
+                S(200.0),
+                S(2.3),
+            ],
+        ),
+        row(
+            Elastic,
+            Three,
+            [
+                S(4000.0),
+                S(3200.0),
+                S(2.1),
+                S(2.7),
+                S(3100.0),
+                S(2700.0),
+                S(2.4),
+                S(2.7),
+                None,
+                None,
+                None,
+                None,
+            ],
+        ),
     ]
 }
 
@@ -84,12 +182,114 @@ pub fn table4() -> [PaperRow; 6] {
     use Dims::*;
     use Formulation::*;
     [
-        row(Isotropic, Two, [S(8.5), S(14.0), S(0.4), S(0.2), S(2.0), S(2.3), S(1.2), S(1.0), S(11.5), S(0.5), S(4.0), S(1.3)]),
-        row(Acoustic, Two, [S(12.2), S(16.0), S(1.2), S(0.9), S(4.5), S(5.6), S(2.4), S(2.0), S(19.0), S(5.3), S(9.0), S(7.9)]),
-        row(Elastic, Two, [S(20.0), S(23.0), S(0.8), S(0.7), S(7.0), S(8.0), S(1.7), S(1.5), S(30.0), S(1.1), S(12.0), S(2.3)]),
-        row(Isotropic, Three, [S(1600.0), S(1500.0), S(0.6), S(0.6), S(600.0), S(550.0), S(1.1), S(1.2), S(1200.0), S(0.9), S(800.0), S(1.1)]),
-        row(Acoustic, Three, [S(870.0), S(765.0), S(1.1), S(1.3), S(320.0), S(310.0), S(1.3), S(1.3), S(530.0), S(10.2), S(400.0), S(10.8)]),
-        row(Elastic, Three, [None, S(15000.0), None, S(1.3), None, S(6000.0), None, S(2.9), None, None, None, None]),
+        row(
+            Isotropic,
+            Two,
+            [
+                S(8.5),
+                S(14.0),
+                S(0.4),
+                S(0.2),
+                S(2.0),
+                S(2.3),
+                S(1.2),
+                S(1.0),
+                S(11.5),
+                S(0.5),
+                S(4.0),
+                S(1.3),
+            ],
+        ),
+        row(
+            Acoustic,
+            Two,
+            [
+                S(12.2),
+                S(16.0),
+                S(1.2),
+                S(0.9),
+                S(4.5),
+                S(5.6),
+                S(2.4),
+                S(2.0),
+                S(19.0),
+                S(5.3),
+                S(9.0),
+                S(7.9),
+            ],
+        ),
+        row(
+            Elastic,
+            Two,
+            [
+                S(20.0),
+                S(23.0),
+                S(0.8),
+                S(0.7),
+                S(7.0),
+                S(8.0),
+                S(1.7),
+                S(1.5),
+                S(30.0),
+                S(1.1),
+                S(12.0),
+                S(2.3),
+            ],
+        ),
+        row(
+            Isotropic,
+            Three,
+            [
+                S(1600.0),
+                S(1500.0),
+                S(0.6),
+                S(0.6),
+                S(600.0),
+                S(550.0),
+                S(1.1),
+                S(1.2),
+                S(1200.0),
+                S(0.9),
+                S(800.0),
+                S(1.1),
+            ],
+        ),
+        row(
+            Acoustic,
+            Three,
+            [
+                S(870.0),
+                S(765.0),
+                S(1.1),
+                S(1.3),
+                S(320.0),
+                S(310.0),
+                S(1.3),
+                S(1.3),
+                S(530.0),
+                S(10.2),
+                S(400.0),
+                S(10.8),
+            ],
+        ),
+        row(
+            Elastic,
+            Three,
+            [
+                None,
+                S(15000.0),
+                None,
+                S(1.3),
+                None,
+                S(6000.0),
+                None,
+                S(2.9),
+                None,
+                None,
+                None,
+                None,
+            ],
+        ),
     ]
 }
 

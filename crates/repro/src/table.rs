@@ -122,7 +122,13 @@ pub fn render_comparison(kind: TableKind) -> String {
     );
     out.push_str(&format!(
         "{:14} | {:>15} {:>15} {:>15} {:>15} | {:>15} {:>15}\n",
-        "", "CRAYcl total", "CRAYcl speedup", "CRAYcl kernel", "CRAYcl kspeed", "IBM total", "IBM speedup"
+        "",
+        "CRAYcl total",
+        "CRAYcl speedup",
+        "CRAYcl kernel",
+        "CRAYcl kspeed",
+        "IBM total",
+        "IBM speedup"
     ));
     out.push_str(&format!(
         "{:14} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>15} {:>15}\n",
@@ -166,7 +172,10 @@ pub fn table3_shape_checks() -> Vec<ShapeCheck> {
         (
             "elastic 3D is the best PGI-on-CRAY modeling speedup",
             el3.cray_speedup_pgi.unwrap_or(0.0)
-                > iso3.cray_speedup_pgi.unwrap_or(0.0).max(ac3.cray_speedup_pgi.unwrap_or(0.0)),
+                > iso3
+                    .cray_speedup_pgi
+                    .unwrap_or(0.0)
+                    .max(ac3.cray_speedup_pgi.unwrap_or(0.0)),
         ),
         (
             "isotropic 3D is the worst 3D modeling speedup (memory-bound)",
@@ -178,12 +187,11 @@ pub fn table3_shape_checks() -> Vec<ShapeCheck> {
         ),
         (
             "kernel speedup >= total speedup (transfers only hurt)",
-            t.iter().all(|r| {
-                match (r.cray_kspeedup_pgi, r.cray_speedup_pgi) {
+            t.iter()
+                .all(|r| match (r.cray_kspeedup_pgi, r.cray_speedup_pgi) {
                     (Some(k), Some(s)) => k >= s * 0.95,
                     _ => true,
-                }
-            }),
+                }),
         ),
         (
             "acoustic 3D GPU time is about half of isotropic 3D (paper: 2x)",
@@ -194,10 +202,11 @@ pub fn table3_shape_checks() -> Vec<ShapeCheck> {
         ),
         (
             "PGI beats CRAY compiler on every total (Section 6.1)",
-            t.iter().all(|r| match (r.cray_total_cray, r.cray_total_pgi) {
-                (Some(c), Some(p)) => c > p,
-                _ => true,
-            }),
+            t.iter()
+                .all(|r| match (r.cray_total_cray, r.cray_total_pgi) {
+                    (Some(c), Some(p)) => c > p,
+                    _ => true,
+                }),
         ),
         (
             "2D cases give small speedups (lack of computations)",
@@ -229,7 +238,8 @@ pub fn table4_shape_checks() -> Vec<ShapeCheck> {
         ),
         (
             "isotropic RTM total speedups dip below 1 (consistency updates)",
-            iso2.cray_speedup_pgi.unwrap_or(9.9) < 1.0 && iso3.cray_speedup_pgi.unwrap_or(9.9) < 1.0,
+            iso2.cray_speedup_pgi.unwrap_or(9.9) < 1.0
+                && iso3.cray_speedup_pgi.unwrap_or(9.9) < 1.0,
         ),
         (
             "elastic 3D RTM: X on CRAY build and on Fermi, runs under PGI/K40",
@@ -239,12 +249,12 @@ pub fn table4_shape_checks() -> Vec<ShapeCheck> {
         ),
         (
             "RTM costs more than modeling for every available case",
-            t.iter().zip(m.iter()).all(|(r, f)| {
-                match (r.cray_total_pgi, f.cray_total_pgi) {
+            t.iter()
+                .zip(m.iter())
+                .all(|(r, f)| match (r.cray_total_pgi, f.cray_total_pgi) {
                     (Some(r_), Some(f_)) => r_ > f_,
                     _ => true,
-                }
-            }),
+                }),
         ),
         (
             "isotropic RTM is transfer-bound: kernel speedup >> total speedup",

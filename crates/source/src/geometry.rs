@@ -37,7 +37,13 @@ pub struct Acquisition2 {
 impl Acquisition2 {
     /// Surface acquisition: source at (`src_ix`, `src_iz`), receivers every
     /// `spacing` points along z = `rcv_iz`, spanning the interior width `nx`.
-    pub fn surface_line(nx: usize, src_ix: usize, src_iz: usize, rcv_iz: usize, spacing: usize) -> Self {
+    pub fn surface_line(
+        nx: usize,
+        src_ix: usize,
+        src_iz: usize,
+        rcv_iz: usize,
+        spacing: usize,
+    ) -> Self {
         assert!(spacing >= 1, "receiver spacing must be >= 1");
         assert!(src_ix < nx, "source outside grid");
         let receivers = (0..nx)

@@ -164,7 +164,9 @@ mod tests {
         };
         assert!(hf(&f) < 0.35 * hf(&s), "{} vs {}", hf(&f), hf(&s));
         // The 10 Hz amplitude survives (within filter rolloff).
-        let mid = f.trace(0)[128..384].iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let mid = f.trace(0)[128..384]
+            .iter()
+            .fold(0.0f32, |a, &b| a.max(b.abs()));
         assert!(mid > 0.5, "signal preserved: {mid}");
     }
 

@@ -85,7 +85,10 @@ impl Wavelet {
 /// Ricker when the survey's usable band is known. Evaluated at time `t`
 /// relative to the wavelet center.
 pub fn ormsby(f: [f32; 4], t: f32) -> f32 {
-    assert!(f[0] < f[1] && f[1] < f[2] && f[2] < f[3], "need f1<f2<f3<f4");
+    assert!(
+        f[0] < f[1] && f[1] < f[2] && f[2] < f[3],
+        "need f1<f2<f3<f4"
+    );
     let pi = std::f32::consts::PI;
     // Normalised sinc-squared ramp terms; the t=0 limit is handled by sinc.
     let sinc = |x: f32| {

@@ -46,9 +46,7 @@ fn main() {
         openacc_sim::exec::default_gangs(),
     );
 
-    println!(
-        "VTI pseudo-acoustic wavefront (vp = {vp} m/s, ε = {epsilon}, δ = {delta}):\n"
-    );
+    println!("VTI pseudo-acoustic wavefront (vp = {vp} m/s, ε = {epsilon}, δ = {delta}):\n");
     let snap = r.snapshots.last().expect("snapshots saved");
     print!("{}", ascii_field(snap, 76, 5.0));
 

@@ -26,12 +26,25 @@ fn main() {
     let h = 10.0;
     let dt = stable_dt(8, 2, 3000.0, h, 0.6);
     let layers = [
-        Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-        Layer { z_top: n / 2, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+        Layer {
+            z_top: 0,
+            vp: 1500.0,
+            vs: 0.0,
+            rho: 1000.0,
+        },
+        Layer {
+            z_top: n / 2,
+            vp: 3000.0,
+            vs: 0.0,
+            rho: 2400.0,
+        },
     ];
     let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 12, dt, 3000.0, h, 1e-4);
-    let medium = Medium2::Acoustic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    };
     let acq = Acquisition2::surface_line(n, n / 2, 5, 5, 2);
     let cfg = OptimizationConfig::default();
     let w = Wavelet::ricker(20.0);
@@ -39,29 +52,56 @@ fn main() {
     let snap = 4;
     let slots = 4;
 
-    println!("RTM with dense snapshots vs {slots} checkpoints ({steps} steps, snap every {snap}):\n");
+    println!(
+        "RTM with dense snapshots vs {slots} checkpoints ({steps} steps, snap every {snap}):\n"
+    );
     let t0 = std::time::Instant::now();
     let fwd = run_modeling(&medium, &acq, &w, &cfg, steps, snap, 4);
-    let dense = migrate_shot(&medium, &acq, &fwd.seismogram, &fwd.snapshots, &cfg, steps, snap, 4);
+    let dense = migrate_shot(
+        &medium,
+        &acq,
+        &fwd.seismogram,
+        &fwd.snapshots,
+        &cfg,
+        steps,
+        snap,
+        4,
+    );
     let t_dense = t0.elapsed();
 
     let t0 = std::time::Instant::now();
     let ckpt = migrate_checkpointed(
-        &medium, &acq, &fwd.seismogram, &w, &cfg, steps, snap, slots, 4,
-    );
+        &medium,
+        &acq,
+        &fwd.seismogram,
+        &w,
+        &cfg,
+        steps,
+        snap,
+        slots,
+        4,
+    )
+    .expect("valid checkpoint schedule");
     let t_ckpt = t0.elapsed();
 
     let identical = dense.image == ckpt;
-    println!("  dense storage : {:4} snapshots resident, migrate {:?}", fwd.snapshots.len(), t_dense);
+    println!(
+        "  dense storage : {:4} snapshots resident, migrate {:?}",
+        fwd.snapshots.len(),
+        t_dense
+    );
+    let peak = peak_states(steps, slots, snap).expect("valid schedule");
     println!(
         "  checkpointed  : {:4} states peak ({} checkpoints at {:?}), migrate {:?}",
-        peak_states(steps, slots, snap),
+        peak,
         slots,
-        plan_checkpoints(steps, slots),
+        plan_checkpoints(steps, slots).expect("valid schedule"),
         t_ckpt
     );
     println!("  images bitwise identical: {identical}");
     assert!(identical, "deterministic replay must reproduce the image");
-    println!("\nTrade: ~{}x less resident state for one extra forward propagation.",
-        (fwd.snapshots.len() / peak_states(steps, slots, snap)).max(1));
+    println!(
+        "\nTrade: ~{}x less resident state for one extra forward propagation.",
+        (fwd.snapshots.len() / peak).max(1)
+    );
 }

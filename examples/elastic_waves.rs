@@ -66,9 +66,7 @@ fn main() {
         }),
         _ => unreachable!(),
     };
-    println!(
-        "elastic wavefield after {steps} steps (vp = {vp} m/s, vs = {vs} m/s):\n"
-    );
+    println!("elastic wavefield after {steps} steps (vp = {vp} m/s, vs = {vs} m/s):\n");
     print!("{}", ascii_field(&speed, 76, 8.0));
 
     // Measure both fronts along +x: the P front leads, the S front is the
@@ -96,5 +94,9 @@ fn main() {
     }
     println!("\nP front at r = {r_p} cells (theory {expect_p:.0});");
     println!("S peak  at r = {} cells (theory {expect_s:.0}).", r_s.0);
-    println!("vp/vs from the grid: {:.2} (theory {:.2})", r_p as f32 / r_s.0 as f32, vp / vs);
+    println!(
+        "vp/vs from the grid: {:.2} (theory {:.2})",
+        r_p as f32 / r_s.0 as f32,
+        vp / vs
+    );
 }

@@ -56,7 +56,11 @@ fn print_ladder(
         last = t;
         println!("  {label:44} {t:9.2} s");
     }
-    println!("  {:44} {:8.2}x\n", "=> cumulative gain", first.unwrap() / last);
+    println!(
+        "  {:44} {:8.2}x\n",
+        "=> cumulative gain",
+        first.unwrap() / last
+    );
 }
 
 fn main() {
@@ -67,7 +71,10 @@ fn main() {
     // Isotropic 3D under PGI 14.3, where restructuring matters most.
     print_ladder(
         "isotropic 3D modeling — PML loop restructuring",
-        SeismicCase { formulation: Formulation::Isotropic, dims: Dims::Three },
+        SeismicCase {
+            formulation: Formulation::Isotropic,
+            dims: Dims::Three,
+        },
         Compiler::Pgi(PgiVersion::V14_3),
         Cluster::CrayXc30,
         false,
@@ -75,20 +82,32 @@ fn main() {
             ("original kernel (boundary ifs)", base),
             (
                 "restructured loop indices",
-                OptimizationConfig { iso_pml: IsoPmlVariant::RestructuredIndices, ..base },
+                OptimizationConfig {
+                    iso_pml: IsoPmlVariant::RestructuredIndices,
+                    ..base
+                },
             ),
             (
                 "PML everywhere",
-                OptimizationConfig { iso_pml: IsoPmlVariant::PmlEverywhere, ..base },
+                OptimizationConfig {
+                    iso_pml: IsoPmlVariant::PmlEverywhere,
+                    ..base
+                },
             ),
         ],
     );
 
     // Acoustic 3D on the register-starved Fermi card.
-    let fissioned = OptimizationConfig { fission: FissionVariant::Fissioned, ..base };
+    let fissioned = OptimizationConfig {
+        fission: FissionVariant::Fissioned,
+        ..base
+    };
     print_ladder(
         "acoustic 3D modeling — register pressure",
-        SeismicCase { formulation: Formulation::Acoustic, dims: Dims::Three },
+        SeismicCase {
+            formulation: Formulation::Acoustic,
+            dims: Dims::Three,
+        },
         Compiler::Pgi(PgiVersion::V14_3),
         Cluster::Ibm,
         false,
@@ -97,17 +116,29 @@ fn main() {
             ("+ loop fission", fissioned),
             (
                 "+ maxregcount:64",
-                OptimizationConfig { maxregcount: Some(64), ..fissioned },
+                OptimizationConfig {
+                    maxregcount: Some(64),
+                    ..fissioned
+                },
             ),
         ],
     );
 
     // Acoustic 2D RTM: the backward-phase optimizations.
-    let transposed = OptimizationConfig { transpose: TransposeVariant::Transposed, ..base };
-    let inlined = OptimizationConfig { inline_receiver_injection: true, ..transposed };
+    let transposed = OptimizationConfig {
+        transpose: TransposeVariant::Transposed,
+        ..base
+    };
+    let inlined = OptimizationConfig {
+        inline_receiver_injection: true,
+        ..transposed
+    };
     print_ladder(
         "acoustic 2D RTM — backward phase",
-        SeismicCase { formulation: Formulation::Acoustic, dims: Dims::Two },
+        SeismicCase {
+            formulation: Formulation::Acoustic,
+            dims: Dims::Two,
+        },
         Compiler::Cray,
         Cluster::CrayXc30,
         true,
@@ -117,7 +148,10 @@ fn main() {
             ("+ inlined receiver injection", inlined),
             (
                 "+ imaging condition on GPU",
-                OptimizationConfig { image_placement: ImagePlacement::Gpu, ..inlined },
+                OptimizationConfig {
+                    image_placement: ImagePlacement::Gpu,
+                    ..inlined
+                },
             ),
         ],
     );
@@ -125,7 +159,10 @@ fn main() {
     // Elastic 2D: stream packing under CRAY.
     print_ladder(
         "elastic 2D modeling — async streams",
-        SeismicCase { formulation: Formulation::Elastic, dims: Dims::Two },
+        SeismicCase {
+            formulation: Formulation::Elastic,
+            dims: Dims::Two,
+        },
         Compiler::Cray,
         Cluster::CrayXc30,
         false,
@@ -133,7 +170,10 @@ fn main() {
             ("synchronous launches", base),
             (
                 "+ async streams",
-                OptimizationConfig { async_streams: true, ..base },
+                OptimizationConfig {
+                    async_streams: true,
+                    ..base
+                },
             ),
         ],
     );

@@ -39,7 +39,10 @@ fn main() {
     }
     let t_seq = t0.elapsed();
     println!("isotropic 2D modeling, {n}x{n}, {steps} steps (real execution)\n");
-    println!("{:>7} {:>12} {:>10} {:>10}", "ranks", "wall time", "speedup", "bitwise");
+    println!(
+        "{:>7} {:>12} {:>10} {:>10}",
+        "ranks", "wall time", "speedup", "bitwise"
+    );
 
     for ranks in [1usize, 2, 4, 8] {
         let t0 = std::time::Instant::now();
@@ -58,7 +61,10 @@ fn main() {
             t_seq.as_secs_f64() / wall.as_secs_f64(),
             if exact { "yes" } else { "NO" }
         );
-        assert!(exact, "decomposed run diverged from the sequential reference");
+        assert!(
+            exact,
+            "decomposed run diverged from the sequential reference"
+        );
     }
 
     // The modeled full-socket baselines of the paper's evaluation platform.

@@ -30,25 +30,46 @@ fn main() {
     let compiler = Compiler::Pgi(PgiVersion::V14_6);
     let cluster = Cluster::CrayXc30;
 
-    println!("Acoustic 3D modeling ({}^3, {} steps) across K40s:\n", w.nx, w.steps);
+    println!(
+        "Acoustic 3D modeling ({}^3, {} steps) across K40s:\n",
+        w.nx, w.steps
+    );
     println!(
         "{:>5} {:>14} {:>14} {:>10} {:>16} {:>14}",
         "GPUs", "blocking (s)", "overlapped (s)", "speedup", "efficiency", "comm hidden"
     );
     let base = modeling_time_multi(
-        &case, &cfg, compiler, cluster, &w, 1,
-        GhostPacking::DevicePacked, CommMode::Blocking,
+        &case,
+        &cfg,
+        compiler,
+        cluster,
+        &w,
+        1,
+        GhostPacking::DevicePacked,
+        CommMode::Blocking,
     )
     .expect("fits one K40");
     for n in [1usize, 2, 4, 8] {
         let blocking = modeling_time_multi(
-            &case, &cfg, compiler, cluster, &w, n,
-            GhostPacking::DevicePacked, CommMode::Blocking,
+            &case,
+            &cfg,
+            compiler,
+            cluster,
+            &w,
+            n,
+            GhostPacking::DevicePacked,
+            CommMode::Blocking,
         )
         .expect("fits");
         let overlapped = modeling_time_multi(
-            &case, &cfg, compiler, cluster, &w, n,
-            GhostPacking::DevicePacked, CommMode::Overlapped,
+            &case,
+            &cfg,
+            compiler,
+            cluster,
+            &w,
+            n,
+            GhostPacking::DevicePacked,
+            CommMode::Overlapped,
         )
         .expect("fits");
         let hidden = if overlapped.step_comm_raw_s > 0.0 {
@@ -73,7 +94,14 @@ fn main() {
         ("device-packed", GhostPacking::DevicePacked),
     ] {
         let t = modeling_time_multi(
-            &case, &cfg, compiler, cluster, &w, 4, packing, CommMode::Blocking,
+            &case,
+            &cfg,
+            compiler,
+            cluster,
+            &w,
+            4,
+            packing,
+            CommMode::Blocking,
         )
         .expect("fits");
         println!(
@@ -92,8 +120,14 @@ fn main() {
     let we = Workload { steps: 8000, ..w };
     for n in [1usize, 4] {
         let r = modeling_time_multi(
-            &el, &cfg, Compiler::Pgi(PgiVersion::V14_3), Cluster::Ibm, &we, n,
-            GhostPacking::DevicePacked, CommMode::Overlapped,
+            &el,
+            &cfg,
+            Compiler::Pgi(PgiVersion::V14_3),
+            Cluster::Ibm,
+            &we,
+            n,
+            GhostPacking::DevicePacked,
+            CommMode::Overlapped,
         );
         match r {
             Ok(t) => println!("  {n} x M2090: {:.0} s", t.total_s),

@@ -49,7 +49,11 @@ fn main() {
         let r = run_rtm(&medium, &acq, &wavelet, &config, steps, snap_period, gangs);
         // Stack: migrated shots add coherently at true reflectors.
         stack.axpy(1.0, &r.image);
-        println!("shot {} at x = {src_x} migrated ({} snapshots)", i + 1, r.snapshots_saved);
+        println!(
+            "shot {} at x = {src_x} migrated ({} snapshots)",
+            i + 1,
+            r.snapshots_saved
+        );
     }
 
     let img = laplacian_filter(&stack, h, h);

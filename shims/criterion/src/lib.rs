@@ -1,0 +1,195 @@
+//! Offline build shim for `criterion`: a minimal wall-clock harness with
+//! the call shape the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `Throughput`, `criterion_group!`/`criterion_main!`).
+//! It reports median-of-samples timings to stdout; no plots, no stats.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a benchmark processes per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness configuration + registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.criterion.measurement_time,
+            warm_up: self.criterion.warm_up_time,
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        let mut per_iter: Vec<f64> = b.samples;
+        if per_iter.is_empty() {
+            println!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(" ({:.2} GiB/s)", n as f64 / median / (1u64 << 30) as f64)
+            }
+            Some(Throughput::Elements(n)) => format!(" ({:.2e} elem/s)", n as f64 / median),
+            None => String::new(),
+        };
+        println!("  {}/{id}: {:.3e} s/iter{rate}", self.name, median);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, collecting per-iteration samples until the sample count
+    /// or the measurement budget is exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Group registration: both the plain list form and the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        targets = tiny
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,319 @@
+//! Offline build shim for `proptest`: a small deterministic
+//! property-testing harness exposing the subset of the `proptest` surface
+//! this workspace uses (`proptest!` item and closure forms, range and
+//! collection strategies, `any`, `prop_assert*`, `prop_assume`).
+//!
+//! Each test runs a fixed number of cases; the case stream is a pure
+//! function of the test name, so failures reproduce without a persisted
+//! regression file.
+
+/// Deterministic generator driving each test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded from a test name and case index.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next raw word (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Number of cases each property runs.
+pub const CASES: u64 = 64;
+
+/// Drive `f` over [`CASES`] deterministic cases, panicking on the first
+/// failure with enough context to replay it.
+pub fn run_cases(name: &str, f: &mut dyn FnMut(&mut TestRng) -> Result<(), String>) {
+    for case in 0..CASES {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(msg) = f(&mut rng) {
+            panic!("property '{name}' failed on case {case}: {msg}");
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+
+    /// A recipe for producing values of one type.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.end > self.start, "empty usize range");
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.end > self.start, "empty u64 range");
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            assert!(self.end > self.start, "empty u32 range");
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as u32
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Full-domain strategy returned by [`crate::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a sampled length.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Full-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (mirrors `proptest::prop`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// `Vec` strategy with element strategy `s` and length in `len`.
+        pub fn vec<S: Strategy>(s: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element: s, len }
+        }
+    }
+}
+
+/// Assert inside a property body; failures abort only the current case
+/// with a replayable message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (l, r) = (&$a, &$b);
+        if !(*l == *r) {
+            return Err(format!(
+                "equality failed at {}:{}: {} == {}",
+                file!(), line!(), stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if !(*l == *r) {
+            return Err(format!(
+                "equality failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Discard the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// The `proptest!` macro: item form (a block of `#[test]` functions whose
+/// arguments are strategies) and closure form (one inline property).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), &mut |__rng: &mut $crate::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+    (|($($arg:ident in $strat:expr),* $(,)?)| $body:block) => {
+        $crate::run_cases("inline", &mut |__rng: &mut $crate::TestRng| {
+            $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+            $body
+            Ok(())
+        });
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(n in 3usize..10, x in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0.0f32..1.0, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        proptest!(|(a in 1usize..5, b in 1usize..5)| {
+            prop_assert!(a * b >= 1);
+        });
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            let mut rng = crate::TestRng::for_case("d", 0);
+            for _ in 0..16 {
+                out.push(rng.next_u64());
+            }
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_carry_case_number() {
+        crate::run_cases("always_fails", &mut |_| Err("boom".into()));
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline build shim for `rand`: a deterministic splitmix64 generator
+//! behind the `StdRng`/`SeedableRng`/`Rng` names the workspace uses.
+//!
+//! Determinism note: unlike the real `StdRng` there is no OS entropy
+//! anywhere — every stream is fully determined by its `seed_from_u64`
+//! seed, which is exactly what the model builders and tests want.
+
+/// Uniform sampling target for [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample using the generator's next raw word.
+    fn sample(&self, raw: u64) -> Self::Output;
+}
+
+fn unit_f64(raw: u64) -> f64 {
+    // 53 mantissa bits → uniform in [0, 1).
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    fn sample(&self, raw: u64) -> f32 {
+        self.start + (unit_f64(raw) as f32) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f32> {
+    type Output = f32;
+    fn sample(&self, raw: u64) -> f32 {
+        let (a, b) = (*self.start(), *self.end());
+        a + (unit_f64(raw) as f32) * (b - a)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(&self, raw: u64) -> f64 {
+        self.start + unit_f64(raw) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(&self, raw: u64) -> usize {
+        assert!(self.end > self.start, "empty range");
+        self.start + (raw % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample(&self, raw: u64) -> u64 {
+        assert!(self.end > self.start, "empty range");
+        self.start + raw % (self.end - self.start)
+    }
+}
+
+/// Seedable generator constructor (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform-sampling surface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+pub mod rngs {
+    //! Named generators (subset of `rand::rngs`).
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f32 = r.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&x));
+            let n = r.gen_range(5usize..9);
+            assert!((5..9).contains(&n));
+        }
+    }
+}

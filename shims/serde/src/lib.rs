@@ -1,0 +1,16 @@
+//! Offline build shim for `serde`.
+//!
+//! See `shims/serde_derive` for why this exists. The traits are satisfied
+//! by blanket impls so `T: Serialize` bounds keep compiling; the derive
+//! macros (re-exported here under the same names, as the real crate does)
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline build shim for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in-tree actually serializes (there is no
+//! `serde_json` or similar consumer). The derives therefore expand to
+//! nothing; the matching trait impls come from blanket impls in the
+//! sibling `serde` shim. Swapping the real crates back in requires only
+//! deleting the `shims/` entries from the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -51,7 +51,10 @@ fn fig10_and_fig12_are_consistent() {
     let t16 = f10[0].1;
     let t64 = f10[2].1;
     let spill_penalty = t16 / t64;
-    assert!(spill_penalty > 2.0, "16-reg spills are severe: {spill_penalty}");
+    assert!(
+        spill_penalty > 2.0,
+        "16-reg spills are severe: {spill_penalty}"
+    );
     let ((f_fused, f_fiss), _) = figures::fig12();
     let fermi_fission_gain = f_fused / f_fiss;
     // Both numbers come from spill traffic; both must land in the 2-6x band.

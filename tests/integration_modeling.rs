@@ -6,9 +6,7 @@ use rtm_core::case::OptimizationConfig;
 use rtm_core::modeling::{run_modeling, Medium2};
 use rtm_core::mpi_run::modeling_iso2_mpi;
 use seismic_grid::cfl::stable_dt;
-use seismic_model::builder::{
-    acoustic2_layered, elastic2_layered, iso2_layered, standard_layers,
-};
+use seismic_model::builder::{acoustic2_layered, elastic2_layered, iso2_layered, standard_layers};
 use seismic_model::{extent2, Geometry};
 use seismic_pml::{CpmlAxis, DampProfile};
 use seismic_prop::iso2d::Iso2State;
@@ -68,7 +66,11 @@ fn all_formulations_model_stably() {
         assert_eq!(r.snapshots.len(), 10, "{name}");
         let rms = r.seismogram.rms();
         assert!(rms.is_finite() && rms > 0.0, "{name}: rms {rms}");
-        let peak = r.snapshots.iter().map(|s| s.max_abs()).fold(0.0f32, f32::max);
+        let peak = r
+            .snapshots
+            .iter()
+            .map(|s| s.max_abs())
+            .fold(0.0f32, f32::max);
         assert!(peak.is_finite() && peak > 0.0, "{name}");
     }
 }
@@ -81,7 +83,15 @@ fn optimization_config_does_not_change_physics() {
     for (name, medium) in media(n) {
         let acq = Acquisition2::surface_line(n, n / 2, 6, 4, 6);
         let w = Wavelet::ricker(20.0);
-        let a = run_modeling(&medium, &acq, &w, &OptimizationConfig::default(), 120, 20, 3);
+        let a = run_modeling(
+            &medium,
+            &acq,
+            &w,
+            &OptimizationConfig::default(),
+            120,
+            20,
+            3,
+        );
         let b = run_modeling(&medium, &acq, &w, &OptimizationConfig::naive(), 120, 20, 3);
         assert_eq!(a.seismogram, b.seismogram, "{name}");
     }

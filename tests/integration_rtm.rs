@@ -16,12 +16,25 @@ fn two_layer(n: usize, z_if: usize) -> Medium2 {
     let h = 10.0;
     let dt = stable_dt(8, 2, 3000.0, h, 0.6);
     let layers = [
-        Layer { z_top: 0, vp: 1500.0, vs: 0.0, rho: 1000.0 },
-        Layer { z_top: z_if, vp: 3000.0, vs: 0.0, rho: 2400.0 },
+        Layer {
+            z_top: 0,
+            vp: 1500.0,
+            vs: 0.0,
+            rho: 1000.0,
+        },
+        Layer {
+            z_top: z_if,
+            vp: 3000.0,
+            vs: 0.0,
+            rho: 2400.0,
+        },
     ];
     let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 12, dt, 3000.0, h, 1e-4);
-    Medium2::Acoustic { model, cpml: [c.clone(), c] }
+    Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    }
 }
 
 /// A dipping reflector images at the correct depth under each shot point —
@@ -35,7 +48,10 @@ fn wedge_images_follow_the_dip() {
     let dt = stable_dt(8, 2, 3000.0, h, 0.6);
     let model = acoustic2_wedge(e, 1500.0, 3000.0, z_left, z_right, Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 12, dt, 3000.0, h, 1e-4);
-    let medium = Medium2::Acoustic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Acoustic {
+        model,
+        cpml: [c.clone(), c],
+    };
     let cfg = OptimizationConfig::default();
     let w = Wavelet::ricker(18.0);
 
@@ -161,12 +177,25 @@ fn elastic_rtm_smoke() {
     let h = 10.0;
     let dt = stable_dt(8, 2, 3000.0, h, 0.45);
     let layers = [
-        Layer { z_top: 0, vp: 1800.0, vs: 900.0, rho: 1800.0 },
-        Layer { z_top: n / 2, vp: 3000.0, vs: 1700.0, rho: 2400.0 },
+        Layer {
+            z_top: 0,
+            vp: 1800.0,
+            vs: 900.0,
+            rho: 1800.0,
+        },
+        Layer {
+            z_top: n / 2,
+            vp: 3000.0,
+            vs: 1700.0,
+            rho: 2400.0,
+        },
     ];
     let model = elastic2_layered(e, &layers, Geometry::uniform(h, dt));
     let c = CpmlAxis::new(n, e.halo, 10, dt, 3000.0, h, 1e-4);
-    let medium = Medium2::Elastic { model, cpml: [c.clone(), c] };
+    let medium = Medium2::Elastic {
+        model,
+        cpml: [c.clone(), c],
+    };
     let acq = Acquisition2::surface_line(n, n / 2, 6, 6, 4);
     let r = run_rtm(
         &medium,
