@@ -1,0 +1,289 @@
+//! Data-environment checking by abstract interpretation.
+//!
+//! The checker walks the program once, tracking for every array whether it
+//! is mapped on the device, whether its device copy is newer than the host
+//! copy (`device_dirty`, set by kernel writes, cleared by `update host`),
+//! and whether the host copy is newer (`host_dirty`, set by host writes,
+//! cleared by `update device`). The abstract state mirrors exactly what
+//! `openacc_sim::data::DataEnv` tracks at runtime, so every error this
+//! pass reports is one the runtime would hit.
+
+use crate::diag::{Diagnostic, Rule, Severity, Span};
+use crate::program::{Op, Program};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Copy)]
+struct MapState {
+    entered_at: usize,
+    device_dirty: bool,
+    host_dirty: bool,
+}
+
+/// Walk the program and report every data-environment violation.
+pub fn check(p: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut mapped: HashMap<String, MapState> = HashMap::new();
+    let mut freed: HashSet<String> = HashSet::new();
+
+    let err = |op: usize, rule: Rule, array: &str, msg: String| {
+        Diagnostic::new(Severity::Error, rule, Span::at(op).array(array), msg)
+    };
+
+    for (i, op) in p.ops.iter().enumerate() {
+        match op {
+            Op::EnterDataCopyin { array } | Op::EnterDataCreate { array } => {
+                freed.remove(array);
+                mapped.insert(
+                    array.clone(),
+                    MapState {
+                        entered_at: i,
+                        device_dirty: false,
+                        host_dirty: false,
+                    },
+                );
+            }
+            Op::ExitDataDelete { array } => {
+                if mapped.remove(array).is_some() {
+                    freed.insert(array.clone());
+                } else if freed.contains(array) {
+                    diags.push(err(
+                        i,
+                        Rule::DoubleDelete,
+                        array,
+                        format!("`{array}` was already deleted by an earlier `exit data`"),
+                    ));
+                } else {
+                    diags.push(err(
+                        i,
+                        Rule::DoubleDelete,
+                        array,
+                        format!("`exit data delete` on `{array}`, which was never mapped"),
+                    ));
+                }
+            }
+            Op::UpdateHost { array } => match mapped.get_mut(array) {
+                Some(m) => m.device_dirty = false,
+                None => diags.push(err(
+                    i,
+                    Rule::UpdateOnAbsent,
+                    array,
+                    format!("`update host({array})` but `{array}` is not on the device"),
+                )),
+            },
+            Op::UpdateDevice { array } => match mapped.get_mut(array) {
+                Some(m) => m.host_dirty = false,
+                None => diags.push(err(
+                    i,
+                    Rule::UpdateOnAbsent,
+                    array,
+                    format!("`update device({array})` but `{array}` is not on the device"),
+                )),
+            },
+            Op::Present { array } => {
+                if !mapped.contains_key(array) {
+                    diags.push(err(
+                        i,
+                        Rule::PresentOnAbsent,
+                        array,
+                        format!("`present({array})` asserted but `{array}` is not mapped"),
+                    ));
+                }
+            }
+            Op::Launch(l) => {
+                // Reads of host-dirty data first, then mark writes dirty —
+                // a kernel that reads and writes the same array still reads
+                // the pre-launch copy.
+                for a in l.access.arrays() {
+                    match mapped.get(a) {
+                        None => diags.push(Diagnostic::new(
+                            Severity::Error,
+                            Rule::UseNotMapped,
+                            Span::at(i).kernel(l.name.clone()).array(a),
+                            format!(
+                                "kernel `{}` references `{a}`, which was never \
+                                 `enter data`'d onto the device",
+                                l.name
+                            ),
+                        )),
+                        Some(m) if m.host_dirty => diags.push(Diagnostic::new(
+                            Severity::Error,
+                            Rule::StaleDeviceRead,
+                            Span::at(i).kernel(l.name.clone()).array(a),
+                            format!(
+                                "kernel `{}` uses `{a}` after a host write with no \
+                                 `update device` in between: the device copy is stale",
+                                l.name
+                            ),
+                        )),
+                        Some(_) => {}
+                    }
+                }
+                for a in l.access.written_arrays() {
+                    if let Some(m) = mapped.get_mut(a) {
+                        m.device_dirty = true;
+                    }
+                }
+            }
+            Op::Wait | Op::WaitQueue(_) => {}
+            Op::HostRead { array } => {
+                if let Some(m) = mapped.get(array) {
+                    if m.device_dirty {
+                        diags.push(err(
+                            i,
+                            Rule::StaleHostRead,
+                            array,
+                            format!(
+                                "host reads `{array}` after a device write with no \
+                                 `update host` in between: the host copy is stale"
+                            ),
+                        ));
+                    }
+                }
+            }
+            Op::HostWrite { array } => {
+                if let Some(m) = mapped.get_mut(array) {
+                    m.host_dirty = true;
+                }
+            }
+        }
+    }
+
+    // Anything still mapped at program end never saw its `exit data`.
+    let mut leaks: Vec<(&String, &MapState)> = mapped.iter().collect();
+    leaks.sort_by_key(|(_, m)| m.entered_at);
+    for (array, m) in leaks {
+        diags.push(Diagnostic::new(
+            Severity::Warning,
+            Rule::LeakedEnterData,
+            Span::at(m.entered_at).array(array.clone()),
+            format!("`enter data` for `{array}` is never paired with an `exit data delete`"),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Launch;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{ConstructKind, LoopNest};
+
+    fn launch_on(access: AccessSet) -> Op {
+        Op::Launch(Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[access.trip.max(1)]),
+            kind: ConstructKind::Kernels,
+            clauses: vec![],
+            access,
+            regs: 16,
+        })
+    }
+
+    fn rules(p: &Program) -> Vec<Rule> {
+        check(p).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_lifecycle_has_no_diags() {
+        let mut p = Program::new("clean");
+        p.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(launch_on(AccessSet::stencil(16, "u", 100, 0, 1, 4)))
+            .push(Op::UpdateHost { array: "u".into() })
+            .push(Op::HostRead { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert!(check(&p).is_empty());
+    }
+
+    #[test]
+    fn use_not_mapped_and_present_on_absent() {
+        let mut p = Program::new("t");
+        p.push(launch_on(AccessSet::new(4).write("ghost", 0, 1)))
+            .push(Op::Present {
+                array: "ghost".into(),
+            });
+        assert_eq!(rules(&p), vec![Rule::UseNotMapped, Rule::PresentOnAbsent]);
+    }
+
+    #[test]
+    fn stale_host_read_needs_update_host() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(launch_on(AccessSet::new(4).write("u", 0, 1)))
+            .push(Op::HostRead { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert_eq!(rules(&p), vec![Rule::StaleHostRead]);
+        // Inserting the update fixes it.
+        let mut q = Program::new("t");
+        q.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(launch_on(AccessSet::new(4).write("u", 0, 1)))
+            .push(Op::UpdateHost { array: "u".into() })
+            .push(Op::HostRead { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert!(check(&q).is_empty());
+    }
+
+    #[test]
+    fn stale_device_read_needs_update_device() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(Op::HostWrite { array: "u".into() })
+            .push(launch_on(
+                AccessSet::new(4).read("u", 0, 1).write("u", 100, 1),
+            ))
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert_eq!(rules(&p), vec![Rule::StaleDeviceRead]);
+        let mut q = Program::new("t");
+        q.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(Op::HostWrite { array: "u".into() })
+            .push(Op::UpdateDevice { array: "u".into() })
+            .push(launch_on(
+                AccessSet::new(4).read("u", 0, 1).write("u", 100, 1),
+            ))
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert!(check(&q).is_empty());
+    }
+
+    #[test]
+    fn double_delete_and_never_mapped_delete() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCreate { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "v".into() });
+        let ds = check(&p);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule == Rule::DoubleDelete));
+        assert!(ds[0].message.contains("already deleted"));
+        assert!(ds[1].message.contains("never mapped"));
+    }
+
+    #[test]
+    fn leak_reported_at_the_enter_site() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCopyin { array: "u".into() });
+        let ds = check(&p);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::LeakedEnterData);
+        assert_eq!(ds[0].severity, Severity::Warning);
+        assert_eq!(ds[0].span.op, 0);
+    }
+
+    #[test]
+    fn update_on_absent_is_an_error() {
+        let mut p = Program::new("t");
+        p.push(Op::UpdateHost { array: "u".into() })
+            .push(Op::UpdateDevice { array: "u".into() });
+        assert_eq!(rules(&p), vec![Rule::UpdateOnAbsent, Rule::UpdateOnAbsent]);
+    }
+
+    #[test]
+    fn remap_after_delete_is_legal() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCopyin { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() })
+            .push(Op::EnterDataCopyin { array: "u".into() })
+            .push(Op::ExitDataDelete { array: "u".into() });
+        assert!(check(&p).is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! Static dependence testing: the `independent`-claim race detector.
+//!
+//! `!$acc loop independent` asserts that no iteration of the parallelized
+//! loop touches an element another iteration writes. Over affine access
+//! descriptors that claim is *decidable*: a conflict between a write
+//! `w.offset + w.stride·i` and an access `a.offset + a.stride·j` is an
+//! integer solution of the linear Diophantine equation
+//!
+//! ```text
+//! w.stride·i − a.stride·j = a.offset − w.offset,   0 ≤ i, j < trip, i ≠ j
+//! ```
+//!
+//! The GCD test (`gcd(strides) ∤ offset difference` ⇒ no dependence)
+//! prunes most pairs; the survivors get an exact bounded solve via the
+//! extended Euclid parametrization — Banerjee-style bounds on the solution
+//! parameter decide existence and produce a concrete witness pair for the
+//! diagnostic (and for the Tier-2 sanitizer to replay).
+
+use crate::diag::{Diagnostic, Rule, Severity, Span};
+use crate::program::Launch;
+use openacc_sim::access::AffineAccess;
+
+/// A concrete cross-iteration conflict found statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// Iteration performing the write.
+    pub i: u64,
+    /// Distinct iteration touching the same element.
+    pub j: u64,
+    /// The shared element index.
+    pub elem: i64,
+    /// True when the second access is also a write.
+    pub write_write: bool,
+}
+
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a.rem_euclid(b));
+        (g, y, x - (a.div_euclid(b)) * y)
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0)
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// The k-interval where `v0 + k·dv ∈ [0, n)`; `None` when empty, with
+/// `dv == 0` handled as all-or-nothing.
+fn param_range(v0: i128, dv: i128, n: i128) -> Option<(i128, i128)> {
+    if dv == 0 {
+        return if (0..n).contains(&v0) {
+            Some((i128::MIN / 4, i128::MAX / 4))
+        } else {
+            None
+        };
+    }
+    let (lo, hi) = if dv > 0 {
+        (div_ceil(-v0, dv), div_floor(n - 1 - v0, dv))
+    } else {
+        (div_ceil(v0 - (n - 1), -dv), div_floor(v0, -dv))
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Decide whether a write and another access to the *same array* conflict
+/// across distinct iterations of a `trip`-iteration loop, returning a
+/// witness pair when they do.
+pub fn affine_conflict(w: &AffineAccess, a: &AffineAccess, trip: u64) -> Option<(u64, u64)> {
+    if w.array != a.array || trip < 2 {
+        return None;
+    }
+    let n = trip as i128;
+    let s1 = w.stride as i128;
+    let s2 = a.stride as i128;
+    let c = (a.offset - w.offset) as i128;
+
+    if s1 == 0 && s2 == 0 {
+        // Every iteration hits one fixed element on each side.
+        return (c == 0).then_some((0, 1));
+    }
+    if s2 == 0 {
+        // w hits a's fixed element at exactly one i.
+        if c % s1 != 0 {
+            return None;
+        }
+        let i = c / s1;
+        if !(0..n).contains(&i) {
+            return None;
+        }
+        let j = if i == 0 { 1 } else { 0 };
+        return Some((i as u64, j as u64));
+    }
+    if s1 == 0 {
+        if (-c) % s2 != 0 {
+            return None;
+        }
+        let j = -c / s2;
+        if !(0..n).contains(&j) {
+            return None;
+        }
+        let i = if j == 0 { 1 } else { 0 };
+        return Some((i as u64, j as u64));
+    }
+
+    // General case: s1·i − s2·j = c. Particular solution via extended
+    // Euclid on (s1, −s2), normalized so the gcd is positive.
+    let (mut g, mut u, mut v) = egcd(s1, -s2);
+    if g < 0 {
+        g = -g;
+        u = -u;
+        v = -v;
+    }
+    if c % g != 0 {
+        return None; // the classic GCD refutation
+    }
+    let scale = c / g;
+    let i0 = u * scale;
+    let j0 = v * scale;
+    // General solution: i = i0 + k·(s2/g), j = j0 + k·(s1/g).
+    let di = s2 / g;
+    let dj = s1 / g;
+    let ri = param_range(i0, di, n)?;
+    let rj = param_range(j0, dj, n)?;
+    let (klo, khi) = (ri.0.max(rj.0), ri.1.min(rj.1));
+    if klo > khi {
+        return None; // Banerjee-style bounds refutation
+    }
+    // Exclude the i == j diagonal (same-iteration reuse is not a loop-
+    // carried dependence).
+    let pick = |k: i128| -> (u64, u64) { ((i0 + k * di) as u64, (j0 + k * dj) as u64) };
+    if di == dj {
+        if i0 == j0 {
+            return None; // every solution is on the diagonal
+        }
+        return Some(pick(klo));
+    }
+    // At most one k lands on the diagonal.
+    let diff = i0 - j0;
+    let slope = dj - di;
+    let k_eq = (slope != 0 && diff % slope == 0).then(|| diff / slope);
+    for k in [klo, klo + 1] {
+        if k <= khi && Some(k) != k_eq {
+            return Some(pick(k));
+        }
+    }
+    None
+}
+
+/// Run the dependence test over one launch's declared accesses. Returns a
+/// witness for the first conflicting pair, if any.
+pub fn find_race(l: &Launch) -> Option<Witness> {
+    let trip = l.access.trip;
+    for w in &l.access.writes {
+        for (other, is_write) in l
+            .access
+            .writes
+            .iter()
+            .map(|a| (a, true))
+            .chain(l.access.reads.iter().map(|a| (a, false)))
+        {
+            if let Some((i, j)) = affine_conflict(w, other, trip) {
+                return Some(Witness {
+                    i,
+                    j,
+                    elem: w.at(i),
+                    write_write: is_write,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Check one launch's parallelization claim. A launch is checked when its
+/// loop would actually run in parallel: the programmer either asserted
+/// `independent` or declared the nest dependence-free. Launches that
+/// declare their dependence (and don't override it) run sequentially and
+/// cannot race.
+pub fn check_launch(op: usize, l: &Launch) -> Vec<Diagnostic> {
+    let parallelized = l.claims_independent() || !l.nest.innermost_dependence;
+    if !parallelized || l.access.writes.is_empty() {
+        return Vec::new();
+    }
+    let Some(wit) = find_race(l) else {
+        return Vec::new();
+    };
+    let claim = if l.claims_independent() {
+        "`independent` clause is false"
+    } else {
+        "loop is declared dependence-free but is not"
+    };
+    let kind = if wit.write_write {
+        "write/write"
+    } else {
+        "write/read"
+    };
+    vec![Diagnostic::new(
+        Severity::Error,
+        Rule::IndependentRace,
+        Span::at(op).kernel(l.name.clone()),
+        format!(
+            "{claim}: iterations {} and {} both touch element {} ({kind} conflict)",
+            wit.i, wit.j, wit.elem
+        ),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{Clause, ConstructKind, LoopNest};
+
+    fn acc(array: &str, offset: i64, stride: i64) -> AffineAccess {
+        AffineAccess::new(array, offset, stride)
+    }
+
+    /// Brute-force oracle for the symbolic solver.
+    fn brute(w: &AffineAccess, a: &AffineAccess, trip: u64) -> bool {
+        if w.array != a.array {
+            return false;
+        }
+        for i in 0..trip {
+            for j in 0..trip {
+                if i != j && w.at(i) == a.at(j) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn disjoint_strides_no_conflict() {
+        // Even vs odd elements: gcd test refutes.
+        assert_eq!(
+            affine_conflict(&acc("u", 0, 2), &acc("u", 1, 2), 1000),
+            None
+        );
+        // Different arrays never conflict.
+        assert_eq!(
+            affine_conflict(&acc("u", 0, 1), &acc("v", 0, 1), 1000),
+            None
+        );
+    }
+
+    #[test]
+    fn unit_stride_shifted_conflicts() {
+        // w[i], r[j+1]: i = j+1 → conflict at (1, 0).
+        let got = affine_conflict(&acc("u", 0, 1), &acc("u", 1, 1), 100).unwrap();
+        assert_ne!(got.0, got.1);
+        assert_eq!(acc("u", 0, 1).at(got.0), acc("u", 1, 1).at(got.1));
+    }
+
+    #[test]
+    fn same_pattern_is_diagonal_only() {
+        // w[i] vs w[i]: only i == j solutions → no loop-carried dependence.
+        assert_eq!(
+            affine_conflict(&acc("u", 5, 3), &acc("u", 5, 3), 1000),
+            None
+        );
+    }
+
+    #[test]
+    fn out_of_range_offset_refuted() {
+        // Ranges [0,99] and [1000,1099] never meet.
+        assert_eq!(
+            affine_conflict(&acc("u", 0, 1), &acc("u", 1000, 1), 100),
+            None
+        );
+        // But at trip 2000 they overlap.
+        assert!(affine_conflict(&acc("u", 0, 1), &acc("u", 1000, 1), 2000).is_some());
+    }
+
+    #[test]
+    fn stride_zero_cases() {
+        // Both fixed, same element.
+        assert_eq!(
+            affine_conflict(&acc("u", 7, 0), &acc("u", 7, 0), 10),
+            Some((0, 1))
+        );
+        assert_eq!(affine_conflict(&acc("u", 7, 0), &acc("u", 8, 0), 10), None);
+        // One fixed: w sweeps, a pinned at 50.
+        let (i, j) = affine_conflict(&acc("u", 0, 1), &acc("u", 50, 0), 100).unwrap();
+        assert_eq!(i, 50);
+        assert_ne!(j, 50);
+        // Pinned outside the sweep.
+        assert_eq!(
+            affine_conflict(&acc("u", 0, 1), &acc("u", 500, 0), 100),
+            None
+        );
+        // Trip 1 loops cannot carry dependences.
+        assert_eq!(affine_conflict(&acc("u", 0, 0), &acc("u", 0, 0), 1), None);
+    }
+
+    #[test]
+    fn negative_and_mixed_strides() {
+        // w[2i], r[100-2j]: meet where 2i + 2j = 100.
+        let w = acc("u", 0, 2);
+        let a = acc("u", 100, -2);
+        let (i, j) = affine_conflict(&w, &a, 60).unwrap();
+        assert_eq!(w.at(i), a.at(j));
+        assert_ne!(i, j);
+    }
+
+    #[test]
+    fn solver_matches_brute_force() {
+        // Deterministic sweep over a parameter lattice.
+        let params: Vec<i64> = vec![-7, -3, -2, -1, 0, 1, 2, 3, 5, 8];
+        for &s1 in &params {
+            for &s2 in &params {
+                for &off in &[-9i64, -4, 0, 1, 3, 10] {
+                    for trip in [2u64, 3, 7, 16] {
+                        let w = acc("u", 0, s1);
+                        let a = acc("u", off, s2);
+                        let expect = brute(&w, &a, trip);
+                        let got = affine_conflict(&w, &a, trip);
+                        assert_eq!(
+                            got.is_some(),
+                            expect,
+                            "s1={s1} s2={s2} off={off} trip={trip} got={got:?}"
+                        );
+                        if let Some((i, j)) = got {
+                            assert!(i < trip && j < trip && i != j);
+                            assert_eq!(w.at(i), a.at(j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn launch(access: AccessSet, clauses: Vec<Clause>, dependence: bool) -> Launch {
+        let mut nest = LoopNest::new(&[access.trip.max(1)]);
+        if dependence {
+            nest = nest.with_dependence();
+        }
+        Launch {
+            name: "k".into(),
+            nest,
+            kind: ConstructKind::Kernels,
+            clauses,
+            access,
+            regs: 32,
+        }
+    }
+
+    #[test]
+    fn false_independent_claim_flagged() {
+        let l = launch(
+            AccessSet::stencil_inplace(64, "u", 0, 4, 8),
+            vec![Clause::Independent],
+            true,
+        );
+        let ds = check_launch(3, &l);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::IndependentRace);
+        assert_eq!(ds[0].severity, Severity::Error);
+        assert_eq!(ds[0].span.op, 3);
+        assert!(ds[0].message.contains("`independent` clause is false"));
+    }
+
+    #[test]
+    fn true_independent_stencil_is_clean() {
+        let l = launch(
+            AccessSet::stencil(64, "u", 10_000, 0, 4, 8),
+            vec![Clause::Independent],
+            false,
+        );
+        assert!(check_launch(0, &l).is_empty());
+    }
+
+    #[test]
+    fn declared_dependence_suppresses_check() {
+        // Sequential loop: the in-place pattern is legal.
+        let l = launch(AccessSet::stencil_inplace(64, "u", 0, 4, 8), vec![], true);
+        assert!(check_launch(0, &l).is_empty());
+        // But an undeclared dependence on a parallel loop is flagged.
+        let l2 = launch(AccessSet::stencil_inplace(64, "u", 0, 4, 8), vec![], false);
+        let ds = check_launch(0, &l2);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("declared dependence-free"));
+    }
+}

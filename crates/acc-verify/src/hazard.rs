@@ -1,0 +1,274 @@
+//! Async-queue hazard detection.
+//!
+//! `async(q)` launches return immediately; two launches on *different*
+//! queues run concurrently on the device. If their element footprints on a
+//! shared array overlap and no `wait` separates them, the result depends
+//! on the device scheduler: a RAW/WAR/WAW hazard. The checker keeps the
+//! set of in-flight launches per queue and compares every new launch's
+//! affine footprint (as conservative per-array extents) against in-flight
+//! work on other queues. `wait` retires everything; `wait(q)` retires one
+//! queue; a launch with no `async` clause is synchronous and retires
+//! itself immediately — but still races against work already in flight.
+
+use crate::diag::{Diagnostic, Rule, Severity, Span};
+use crate::program::{Op, Program};
+use openacc_sim::access::{AccessSet, AffineAccess};
+use std::collections::HashMap;
+
+type Extents = Vec<(String, (i64, i64))>;
+
+fn extents_of(refs: &[AffineAccess], trip: u64) -> Extents {
+    let mut by_array: HashMap<&str, (i64, i64)> = HashMap::new();
+    for r in refs {
+        if let Some((lo, hi)) = r.extent(trip) {
+            by_array
+                .entry(r.array.as_str())
+                .and_modify(|e| *e = (e.0.min(lo), e.1.max(hi)))
+                .or_insert((lo, hi));
+        }
+    }
+    let mut v: Extents = by_array
+        .into_iter()
+        .map(|(k, e)| (k.to_string(), e))
+        .collect();
+    v.sort();
+    v
+}
+
+fn overlap(a: (i64, i64), b: (i64, i64)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1
+}
+
+fn find_on(ext: &Extents, array: &str) -> Option<(i64, i64)> {
+    ext.iter().find(|(a, _)| a == array).map(|(_, e)| *e)
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    op: usize,
+    name: String,
+    queue: u32,
+    reads: Extents,
+    writes: Extents,
+}
+
+fn footprints(access: &AccessSet) -> (Extents, Extents) {
+    (
+        extents_of(&access.reads, access.trip),
+        extents_of(&access.writes, access.trip),
+    )
+}
+
+/// The first hazard between an in-flight launch and a new footprint, as
+/// `(kind, array)`.
+fn hazard_between(
+    old: &InFlight,
+    reads: &Extents,
+    writes: &Extents,
+) -> Option<(&'static str, String)> {
+    for (array, w) in writes {
+        if find_on(&old.writes, array).is_some_and(|e| overlap(e, *w)) {
+            return Some(("write-after-write", array.clone()));
+        }
+        if find_on(&old.reads, array).is_some_and(|e| overlap(e, *w)) {
+            return Some(("write-after-read", array.clone()));
+        }
+    }
+    for (array, r) in reads {
+        if find_on(&old.writes, array).is_some_and(|e| overlap(e, *r)) {
+            return Some(("read-after-write", array.clone()));
+        }
+    }
+    None
+}
+
+/// Walk the program and report async hazards and redundant waits.
+pub fn check(p: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_flight: Vec<InFlight> = Vec::new();
+
+    for (i, op) in p.ops.iter().enumerate() {
+        match op {
+            Op::Launch(l) => {
+                let (reads, writes) = footprints(&l.access);
+                let queue = l.async_queue();
+                for old in &in_flight {
+                    // Same queue serializes; only cross-queue pairs race.
+                    if queue == Some(old.queue) {
+                        continue;
+                    }
+                    if let Some((kind, array)) = hazard_between(old, &reads, &writes) {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            Rule::AsyncHazard,
+                            Span::at(i).kernel(l.name.clone()).array(array.clone()),
+                            format!(
+                                "{kind} hazard on `{array}`: `{}` (op {}, queue {}) is \
+                                 still in flight when `{}` launches{} with no \
+                                 intervening `wait`",
+                                old.name,
+                                old.op,
+                                old.queue,
+                                l.name,
+                                match queue {
+                                    Some(q) => format!(" on queue {q}"),
+                                    None => " synchronously".to_string(),
+                                },
+                            ),
+                        ));
+                    }
+                }
+                if let Some(q) = queue {
+                    in_flight.push(InFlight {
+                        op: i,
+                        name: l.name.clone(),
+                        queue: q,
+                        reads,
+                        writes,
+                    });
+                }
+            }
+            Op::Wait => {
+                if in_flight.is_empty() {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        Rule::RedundantWait,
+                        Span::at(i),
+                        "`wait` with no async work in flight".to_string(),
+                    ));
+                }
+                in_flight.clear();
+            }
+            Op::WaitQueue(q) => {
+                if !in_flight.iter().any(|f| f.queue == *q) {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        Rule::RedundantWait,
+                        Span::at(i),
+                        format!("`wait({q})` but queue {q} has no work in flight"),
+                    ));
+                }
+                in_flight.retain(|f| f.queue != *q);
+            }
+            // Data directives and host accesses are the data-environment
+            // checker's concern; they do not retire async work.
+            _ => {}
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Launch;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{Clause, ConstructKind, LoopNest};
+
+    fn launch(name: &str, access: AccessSet, queue: Option<u32>) -> Op {
+        let mut clauses = Vec::new();
+        if let Some(q) = queue {
+            clauses.push(Clause::Async(q));
+        }
+        Op::Launch(Launch {
+            name: name.into(),
+            nest: LoopNest::new(&[access.trip.max(1)]),
+            kind: ConstructKind::Parallel,
+            clauses,
+            access,
+            regs: 16,
+        })
+    }
+
+    fn rules(p: &Program) -> Vec<Rule> {
+        check(p).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn cross_queue_raw_without_wait_flagged() {
+        // Queue 0 writes u[0..16), queue 1 reads u[0..16).
+        let mut p = Program::new("t");
+        p.push(launch("w", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(launch("r", AccessSet::new(16).read("u", 0, 1), Some(1)));
+        let ds = check(&p);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::AsyncHazard);
+        assert!(ds[0].message.contains("read-after-write"));
+        assert_eq!(ds[0].span.op, 1);
+    }
+
+    #[test]
+    fn wait_between_queues_clears_hazard() {
+        let mut p = Program::new("t");
+        p.push(launch("w", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(Op::Wait)
+            .push(launch("r", AccessSet::new(16).read("u", 0, 1), Some(1)))
+            .push(Op::Wait);
+        assert!(check(&p).is_empty());
+    }
+
+    #[test]
+    fn disjoint_slots_do_not_race() {
+        let mut p = Program::new("t");
+        p.push(launch("a", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(launch("b", AccessSet::new(16).write("u", 1000, 1), Some(1)))
+            .push(Op::Wait);
+        assert!(check(&p).is_empty());
+    }
+
+    #[test]
+    fn same_queue_serializes() {
+        let mut p = Program::new("t");
+        p.push(launch("a", AccessSet::new(16).write("u", 0, 1), Some(2)))
+            .push(launch("b", AccessSet::new(16).read("u", 0, 1), Some(2)))
+            .push(Op::Wait);
+        assert!(check(&p).is_empty());
+    }
+
+    #[test]
+    fn wait_queue_retires_only_that_queue() {
+        let mut p = Program::new("t");
+        p.push(launch("a", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(launch("b", AccessSet::new(16).write("v", 0, 1), Some(1)))
+            .push(Op::WaitQueue(1))
+            // Queue 0 still in flight: WAR against its write of u.
+            .push(launch("c", AccessSet::new(16).write("u", 8, 1), Some(1)))
+            .push(Op::Wait);
+        let ds = check(&p);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("write-after-write"));
+    }
+
+    #[test]
+    fn sync_launch_races_with_in_flight_work() {
+        let mut p = Program::new("t");
+        p.push(launch("a", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(launch("b", AccessSet::new(16).read("u", 4, 1), None));
+        let ds = check(&p);
+        // One hazard (b vs a) plus no redundant-wait; the leak of queue 0
+        // is the data checker's concern, not ours.
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("synchronously"));
+    }
+
+    #[test]
+    fn redundant_waits_warned() {
+        let mut p = Program::new("t");
+        p.push(Op::Wait).push(Op::WaitQueue(3));
+        let ds = check(&p);
+        assert_eq!(rules(&p), vec![Rule::RedundantWait, Rule::RedundantWait]);
+        assert!(ds.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn double_wait_second_is_redundant() {
+        let mut p = Program::new("t");
+        p.push(launch("a", AccessSet::new(16).write("u", 0, 1), Some(0)))
+            .push(Op::Wait)
+            .push(Op::Wait);
+        let ds = check(&p);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::RedundantWait);
+        assert_eq!(ds[0].span.op, 2);
+    }
+}

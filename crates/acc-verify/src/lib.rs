@@ -1,0 +1,199 @@
+//! Two-tier verification of OpenACC directive programs.
+//!
+//! Directives are promises the compiler takes on faith: `independent`
+//! promises no loop-carried dependence, `async` promises no cross-queue
+//! conflict, and the data clauses promise host/device coherence. The paper
+//! found the hard way what a broken promise costs (wrong images, silent
+//! stale reads, scheduler-dependent results); this crate makes the promises
+//! checkable against the per-kernel affine access declarations of
+//! [`openacc_sim::access`]:
+//!
+//! * **Tier 1 — static** ([`verify_program`]): walks a [`Program`] once and
+//!   runs four checker families — Banerjee/GCD dependence testing on
+//!   `independent` claims ([`dependence`]), data-environment abstract
+//!   interpretation ([`dataenv`]), async-queue hazard detection
+//!   ([`hazard`]), and the paper's performance lessons as lints
+//!   ([`lints`]).
+//! * **Tier 2 — dynamic** ([`sanitize`]): replays declared access patterns
+//!   through the shadow-memory tracker in `openacc_sim::exec` on small
+//!   grids, confirming or refuting the static race verdicts with real
+//!   threaded execution.
+//!
+//! Diagnostics are structured ([`Diagnostic`]) with stable rule ids and a
+//! hand-rolled JSON report for CI ([`diag::report_json`]).
+
+#![warn(missing_docs)]
+
+pub mod dataenv;
+pub mod dependence;
+pub mod diag;
+pub mod hazard;
+pub mod lints;
+pub mod program;
+pub mod sanitize;
+
+pub use diag::{Diagnostic, Rule, Severity, Span};
+pub use lints::LintContext;
+pub use program::{Launch, Op, Program};
+pub use sanitize::{CrossCheck, DynamicVerdict};
+
+/// Everything the static tier needs besides the program itself.
+pub type VerifyContext = LintContext;
+
+/// Run all Tier-1 checkers over a program; diagnostics come back ordered by
+/// op index, severity (worst first), then rule id.
+pub fn verify_program(p: &Program, ctx: &VerifyContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, l) in p.launches() {
+        diags.extend(dependence::check_launch(i, l));
+    }
+    diags.extend(dataenv::check(p));
+    diags.extend(hazard::check(p));
+    diags.extend(lints::check(p, ctx));
+    diags.sort_by(|a, b| {
+        a.span
+            .op
+            .cmp(&b.span.op)
+            .then(b.severity.cmp(&a.severity))
+            .then(a.rule.id().cmp(b.rule.id()))
+    });
+    diags
+}
+
+/// Count of diagnostics at exactly `severity`.
+pub fn count_at(diags: &[Diagnostic], severity: Severity) -> usize {
+    diags.iter().filter(|d| d.severity == severity).count()
+}
+
+/// Whether the diagnostic list fails a run: errors always do; warnings do
+/// under `deny_warnings`.
+pub fn fails(diags: &[Diagnostic], deny_warnings: bool) -> bool {
+    let floor = if deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    diags.iter().any(|d| d.severity >= floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{Clause, Compiler, ConstructKind, LoopNest, PgiVersion};
+
+    fn ctx() -> VerifyContext {
+        VerifyContext {
+            compiler: Compiler::Pgi(PgiVersion::V14_6),
+            device: accel_sim::DeviceSpec::k40(),
+        }
+    }
+
+    fn stencil_launch(access: AccessSet, clauses: Vec<Clause>) -> Op {
+        Op::Launch(Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[access.trip.max(1)]),
+            kind: ConstructKind::Kernels,
+            clauses,
+            access,
+            regs: 32,
+        })
+    }
+
+    /// A correct program: mapped data, out-of-place stencil, snapshot with
+    /// `update host` before the host read, paired delete.
+    #[test]
+    fn clean_program_verifies_clean() {
+        let mut p = Program::new("clean");
+        p.push(Op::EnterDataCopyin {
+            array: "fields".into(),
+        })
+        .push(stencil_launch(
+            AccessSet::stencil(4096, "fields", 100_000, 0, 4, 64),
+            vec![Clause::Independent, Clause::MaxRegCount(64)],
+        ))
+        .push(Op::UpdateHost {
+            array: "fields".into(),
+        })
+        .push(Op::HostRead {
+            array: "fields".into(),
+        })
+        .push(Op::ExitDataDelete {
+            array: "fields".into(),
+        });
+        let diags = verify_program(&p, &ctx());
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!fails(&diags, true));
+    }
+
+    /// One broken program per rule class, all flagged in one pass.
+    #[test]
+    fn each_rule_class_fires() {
+        let mut p = Program::new("broken");
+        // dependence: in-place stencil claimed independent.
+        p.push(Op::EnterDataCopyin {
+            array: "fields".into(),
+        })
+        .push(stencil_launch(
+            AccessSet::stencil_inplace(4096, "fields", 0, 4, 64),
+            vec![Clause::Independent],
+        ))
+        // async-hazard: cross-queue overlap, no wait.
+        .push(stencil_launch(
+            AccessSet::new(4096).write("fields", 0, 1),
+            vec![Clause::Async(0)],
+        ))
+        .push(stencil_launch(
+            AccessSet::new(4096).read("fields", 0, 1),
+            vec![Clause::Async(1)],
+        ))
+        .push(Op::Wait)
+        // data-environment: host read of device-dirty data.
+        .push(Op::HostRead {
+            array: "fields".into(),
+        })
+        .push(Op::ExitDataDelete {
+            array: "fields".into(),
+        });
+        // performance-lint: strided bulk sweep.
+        let mut strided = Launch {
+            name: "strided".into(),
+            nest: LoopNest::new(&[1000, 1000]).strided(),
+            kind: ConstructKind::Kernels,
+            clauses: vec![Clause::Independent],
+            access: AccessSet::new(1_000_000),
+            regs: 32,
+        };
+        strided.nest.innermost_contiguous = false;
+        // Launch before the delete so the data environment stays clean.
+        p.ops.insert(5, Op::Launch(strided));
+
+        let diags = verify_program(&p, &ctx());
+        let classes: std::collections::HashSet<_> = diags.iter().map(|d| d.rule.class()).collect();
+        assert!(classes.contains("dependence"), "{diags:?}");
+        assert!(classes.contains("async-hazard"), "{diags:?}");
+        assert!(classes.contains("data-environment"), "{diags:?}");
+        assert!(classes.contains("performance-lint"), "{diags:?}");
+        assert!(fails(&diags, false));
+        // The flagged race is also witnessed by the Tier-2 replay.
+        let (_, racy) = p.launches().next().unwrap();
+        let cc = sanitize::crosscheck(racy);
+        assert!(cc.static_race && cc.dynamic.is_race() && cc.agree());
+    }
+
+    #[test]
+    fn ordering_and_counters() {
+        let mut p = Program::new("t");
+        p.push(Op::Present {
+            array: "ghost".into(),
+        })
+        .push(Op::Wait);
+        let diags = verify_program(&p, &ctx());
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].span.op <= diags[1].span.op);
+        assert_eq!(count_at(&diags, Severity::Error), 1);
+        assert_eq!(count_at(&diags, Severity::Warning), 1);
+        assert!(fails(&diags, false));
+        assert!(fails(&diags, true));
+    }
+}

@@ -1,0 +1,292 @@
+//! Performance lints: the Section 5 findings as checkable rules.
+//!
+//! Each lint reproduces one optimization lesson from the paper as a
+//! diagnostic on the launch that exhibits the anti-pattern:
+//!
+//! * **uncoalesced-access** — the innermost loop sweeps a strided axis (or
+//!   runs sequentially under an assumed dependence), so vector lanes hit
+//!   non-consecutive addresses: the Figure 13 situation the transposed
+//!   acoustic-2D variant fixes.
+//! * **collapse-opportunity** — a deep nest that gridifies better with
+//!   `collapse`/`independent` under PGI, or an explicit `vector` clause on
+//!   the contiguous loop under CRAY (Section 5.2).
+//! * **register-pressure** — the launch spills to local memory under the
+//!   device/`maxregcount` cap (Figure 12), or occupancy falls below ALU
+//!   saturation (Figure 10).
+//!
+//! Severity scales with the iteration count: a strided sweep over a bulk
+//! stencil is a warning, the same pattern on a tiny scatter kernel
+//! (receiver injection touches one point per receiver) is informational.
+
+use crate::diag::{Diagnostic, Rule, Severity, Span};
+use crate::program::{Launch, Op, Program};
+use accel_sim::{occupancy, DeviceSpec};
+use openacc_sim::{Compiler, ConstructKind, LoopSched};
+
+/// Iteration count above which a perf lint is a warning rather than info.
+pub const BULK_POINTS: u64 = 65_536;
+
+/// Occupancy below which the ALUs cannot be saturated (matches
+/// `accel_sim::occupancy::efficiency`'s compute saturation point).
+pub const OCCUPANCY_WARN: f64 = 0.25;
+
+/// Compilation context the lints evaluate launches under.
+#[derive(Debug, Clone)]
+pub struct LintContext {
+    /// Compiler whose mapping heuristics apply.
+    pub compiler: Compiler,
+    /// Device whose register file and occupancy limits apply.
+    pub device: DeviceSpec,
+}
+
+fn bulk_severity(points: u64) -> Severity {
+    if points >= BULK_POINTS {
+        Severity::Warning
+    } else {
+        Severity::Info
+    }
+}
+
+fn lint_launch(op: usize, l: &Launch, ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let plan = ctx.compiler.map(&l.nest, l.kind, &l.clauses, false);
+    let points = l.nest.points();
+    let span = || Span::at(op).kernel(l.name.clone());
+
+    if !plan.coalesced {
+        let msg = if plan.vectorized {
+            format!(
+                "innermost loop is strided: vector lanes touch non-consecutive \
+                 addresses over {points} iterations; transpose the sweep or \
+                 vectorize the contiguous loop"
+            )
+        } else {
+            format!(
+                "innermost loop runs sequentially (assumed loop-carried \
+                 dependence), so {points} iterations neither vectorize nor \
+                 coalesce; refute the dependence or restructure"
+            )
+        };
+        diags.push(Diagnostic::new(
+            bulk_severity(points),
+            Rule::UncoalescedAccess,
+            span(),
+            msg,
+        ));
+    }
+
+    if plan.vectorized && l.nest.depth() >= 3 {
+        match ctx.compiler {
+            Compiler::Pgi(_) => {
+                if !l.claims_independent() && l.collapse() < 2 {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        Rule::CollapseOpportunity,
+                        span(),
+                        "deep nest gridifies 1-D under PGI without help: add \
+                         `collapse(2)` or `independent` to get a 2-D grid"
+                            .to_string(),
+                    ));
+                }
+            }
+            Compiler::Cray => {
+                let explicit_vector = matches!(l.nest.sched.last(), Some(LoopSched::Vector(_)));
+                if l.kind == ConstructKind::Parallel && !explicit_vector {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        Rule::CollapseOpportunity,
+                        span(),
+                        "CRAY picks its own vector loop on deep nests and can \
+                         miss the contiguous one: put an explicit `vector` \
+                         clause on the innermost loop"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    if l.regs > 0 {
+        let alloc = occupancy::allocate(&ctx.device, l.regs, l.maxregcount());
+        if alloc.spilled > 0 {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                Rule::RegisterPressure,
+                span(),
+                format!(
+                    "kernel needs {} registers but holds {} under the cap: {} \
+                     values spill to local memory on {}; fission the kernel or \
+                     raise `maxregcount`",
+                    l.regs, alloc.regs_per_thread, alloc.spilled, ctx.device.name
+                ),
+            ));
+        } else if alloc.occupancy < OCCUPANCY_WARN {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                Rule::RegisterPressure,
+                span(),
+                format!(
+                    "occupancy {:.0}% is below ALU saturation ({:.0}%): the \
+                     unconstrained allocation holds {} registers per thread; \
+                     cap with `maxregcount` (the paper's best: 64)",
+                    alloc.occupancy * 100.0,
+                    OCCUPANCY_WARN * 100.0,
+                    alloc.regs_per_thread
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Lint every launch in the program.
+pub fn check(p: &Program, ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, op) in p.ops.iter().enumerate() {
+        if let Op::Launch(l) = op {
+            diags.extend(lint_launch(i, l, ctx));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{Clause, LoopNest, PgiVersion};
+
+    const PGI: Compiler = Compiler::Pgi(PgiVersion::V14_6);
+
+    fn ctx(compiler: Compiler, device: DeviceSpec) -> LintContext {
+        LintContext { compiler, device }
+    }
+
+    fn prog_of(l: Launch) -> Program {
+        let mut p = Program::new("t");
+        p.push(Op::Launch(l));
+        p
+    }
+
+    fn launch(nest: LoopNest, clauses: Vec<Clause>, regs: u32) -> Launch {
+        let trip = nest.points();
+        Launch {
+            name: "k".into(),
+            nest,
+            kind: ConstructKind::Kernels,
+            clauses,
+            access: AccessSet::new(trip),
+            regs,
+        }
+    }
+
+    #[test]
+    fn strided_bulk_kernel_warns_small_kernel_informs() {
+        let big = prog_of(launch(
+            LoopNest::new(&[1000, 1000]).strided(),
+            vec![Clause::Independent],
+            32,
+        ));
+        let ds = check(&big, &ctx(PGI, DeviceSpec::k40()));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::UncoalescedAccess);
+        assert_eq!(ds[0].severity, Severity::Warning);
+
+        let small = prog_of(launch(
+            LoopNest::new(&[1, 2500]).strided(),
+            vec![Clause::Independent],
+            32,
+        ));
+        let ds = check(&small, &ctx(PGI, DeviceSpec::k40()));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn sequential_inner_loop_is_uncoalesced_too() {
+        // The direct acoustic-2D backward kernel: strided and dependent.
+        let p = prog_of(launch(
+            LoopNest::new(&[1000, 1000]).strided().with_dependence(),
+            vec![],
+            32,
+        ));
+        let ds = check(&p, &ctx(PGI, DeviceSpec::k40()));
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("sequentially"));
+    }
+
+    #[test]
+    fn coalesced_kernel_is_clean() {
+        let p = prog_of(launch(
+            LoopNest::new(&[512, 512]),
+            vec![Clause::Independent, Clause::MaxRegCount(64)],
+            48,
+        ));
+        assert!(check(&p, &ctx(PGI, DeviceSpec::k40())).is_empty());
+    }
+
+    #[test]
+    fn pgi_deep_nest_wants_collapse() {
+        let bare = prog_of(launch(LoopNest::new(&[128, 128, 128]), vec![], 32));
+        let ds = check(&bare, &ctx(PGI, DeviceSpec::k40()));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, Rule::CollapseOpportunity);
+        // With collapse(2) the lint goes away.
+        let fixed = prog_of(launch(
+            LoopNest::new(&[128, 128, 128]),
+            vec![Clause::Collapse(2)],
+            32,
+        ));
+        assert!(check(&fixed, &ctx(PGI, DeviceSpec::k40())).is_empty());
+    }
+
+    #[test]
+    fn cray_deep_parallel_wants_explicit_vector() {
+        let mut l = launch(LoopNest::new(&[128, 128, 128]), vec![], 32);
+        l.kind = ConstructKind::Parallel;
+        let ds = check(&prog_of(l), &ctx(Compiler::Cray, DeviceSpec::k40()));
+        // The missed loop pick makes it uncoalesced as well.
+        let rules: Vec<_> = ds.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::CollapseOpportunity));
+        let mut fixed = launch(
+            LoopNest::new(&[128, 128, 128]).with_sched(&[
+                LoopSched::Gang,
+                LoopSched::Worker,
+                LoopSched::Vector(128),
+            ]),
+            vec![],
+            32,
+        );
+        fixed.kind = ConstructKind::Parallel;
+        assert!(check(&prog_of(fixed), &ctx(Compiler::Cray, DeviceSpec::k40())).is_empty());
+    }
+
+    #[test]
+    fn fused_kernel_register_pressure_both_ways() {
+        // The Figure 12 kernel: 96 live registers.
+        let fused = |cap: Option<u32>| {
+            let clauses = match cap {
+                Some(c) => vec![Clause::Independent, Clause::MaxRegCount(c)],
+                None => vec![Clause::Independent],
+            };
+            prog_of(launch(LoopNest::new(&[512, 512]), clauses, 96))
+        };
+        // Fermi (63-register HW cap): spills.
+        let ds = check(&fused(None), &ctx(PGI, DeviceSpec::m2090()));
+        assert!(ds
+            .iter()
+            .any(|d| d.rule == Rule::RegisterPressure && d.message.contains("spill")));
+        // Kepler uncapped: no spill but occupancy starves.
+        let ds = check(&fused(None), &ctx(PGI, DeviceSpec::k40()));
+        assert!(ds
+            .iter()
+            .any(|d| d.rule == Rule::RegisterPressure && d.message.contains("occupancy")));
+        // The paper's 64-register cap on a kernel that fits is clean.
+        let fits = prog_of(launch(
+            LoopNest::new(&[512, 512]),
+            vec![Clause::Independent, Clause::MaxRegCount(64)],
+            62,
+        ));
+        assert!(check(&fits, &ctx(PGI, DeviceSpec::k40())).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! The directive-program IR the checkers run over.
+//!
+//! A [`Program`] is the device-visible trace of a driver: the ordered data
+//! directives, kernel launches (with their declared access patterns), and
+//! waits it would issue. `rtm-core` builds one per seismic case by walking
+//! the same launch plans its drivers execute, so what the verifier checks
+//! is what the runtime runs.
+
+use openacc_sim::access::AccessSet;
+use openacc_sim::{Clause, ConstructKind, LoopNest};
+
+/// One kernel launch with everything the checkers need.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// Kernel name (spans and reports).
+    pub name: String,
+    /// Iteration space and per-loop scheduling.
+    pub nest: LoopNest,
+    /// Compute construct.
+    pub kind: ConstructKind,
+    /// Clauses on the construct.
+    pub clauses: Vec<Clause>,
+    /// Declared affine read/write sets.
+    pub access: AccessSet,
+    /// Registers per thread the kernel needs (the Figure 10/12 input).
+    pub regs: u32,
+}
+
+impl Launch {
+    /// The async queue this launch lands on, if it carries the clause.
+    pub fn async_queue(&self) -> Option<u32> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::Async(q) => Some(*q),
+            _ => None,
+        })
+    }
+
+    /// Whether the programmer asserted `independent`.
+    pub fn claims_independent(&self) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Independent))
+    }
+
+    /// The `maxregcount` clause value, if present.
+    pub fn maxregcount(&self) -> Option<u32> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::MaxRegCount(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The `collapse(n)` clause value (1 when absent).
+    pub fn collapse(&self) -> u32 {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                Clause::Collapse(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+}
+
+/// One directive-level operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `!$acc enter data copyin(array)`.
+    EnterDataCopyin {
+        /// Mapped name.
+        array: String,
+    },
+    /// `!$acc enter data create(array)` — device scratch, no upload.
+    EnterDataCreate {
+        /// Mapped name.
+        array: String,
+    },
+    /// `!$acc exit data delete(array)`.
+    ExitDataDelete {
+        /// Unmapped name.
+        array: String,
+    },
+    /// `!$acc update host(array)`.
+    UpdateHost {
+        /// Refreshed name.
+        array: String,
+    },
+    /// `!$acc update device(array)`.
+    UpdateDevice {
+        /// Refreshed name.
+        array: String,
+    },
+    /// `!$acc present(array)` assertion (kernels also check implicitly).
+    Present {
+        /// Asserted name.
+        array: String,
+    },
+    /// A kernel launch.
+    Launch(Launch),
+    /// `!$acc wait` — all queues.
+    Wait,
+    /// `!$acc wait(queue)`.
+    WaitQueue(u32),
+    /// The host consumes its copy of `array` (writes a snapshot to disk,
+    /// stacks an image, …).
+    HostRead {
+        /// Consumed name.
+        array: String,
+    },
+    /// The host mutates its copy of `array` (fills a buffer the device
+    /// should see next).
+    HostWrite {
+        /// Mutated name.
+        array: String,
+    },
+}
+
+impl Op {
+    /// Short op label for spans/rendering.
+    pub fn label(&self) -> String {
+        match self {
+            Op::EnterDataCopyin { array } => format!("enter data copyin({array})"),
+            Op::EnterDataCreate { array } => format!("enter data create({array})"),
+            Op::ExitDataDelete { array } => format!("exit data delete({array})"),
+            Op::UpdateHost { array } => format!("update host({array})"),
+            Op::UpdateDevice { array } => format!("update device({array})"),
+            Op::Present { array } => format!("present({array})"),
+            Op::Launch(l) => format!("launch {}", l.name),
+            Op::Wait => "wait".to_string(),
+            Op::WaitQueue(q) => format!("wait({q})"),
+            Op::HostRead { array } => format!("host read of {array}"),
+            Op::HostWrite { array } => format!("host write of {array}"),
+        }
+    }
+}
+
+/// A named directive program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Report name (e.g. `"ISOTROPIC 2D modeling"`).
+    pub name: String,
+    /// The ordered operations.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Append an op (builder style).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// All launches with their op indices.
+    pub fn launches(&self) -> impl Iterator<Item = (usize, &Launch)> {
+        self.ops.iter().enumerate().filter_map(|(i, op)| match op {
+            Op::Launch(l) => Some((i, l)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::Clause;
+
+    #[test]
+    fn launch_clause_accessors() {
+        let l = Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[10, 10]),
+            kind: ConstructKind::Kernels,
+            clauses: vec![
+                Clause::Independent,
+                Clause::Async(3),
+                Clause::MaxRegCount(64),
+                Clause::Collapse(2),
+            ],
+            access: AccessSet::new(100),
+            regs: 50,
+        };
+        assert!(l.claims_independent());
+        assert_eq!(l.async_queue(), Some(3));
+        assert_eq!(l.maxregcount(), Some(64));
+        assert_eq!(l.collapse(), 2);
+    }
+
+    #[test]
+    fn program_collects_launches() {
+        let mut p = Program::new("t");
+        p.push(Op::EnterDataCopyin { array: "u".into() });
+        p.push(Op::Launch(Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[4]),
+            kind: ConstructKind::Parallel,
+            clauses: vec![],
+            access: AccessSet::new(4),
+            regs: 8,
+        }));
+        p.push(Op::Wait);
+        let ls: Vec<_> = p.launches().collect();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].0, 1);
+        assert_eq!(p.ops[2].label(), "wait");
+        assert_eq!(p.ops[0].label(), "enter data copyin(u)");
+    }
+}

@@ -1,0 +1,153 @@
+//! Tier 2: dynamic confirmation of static race verdicts.
+//!
+//! The static dependence test (Tier 1) decides `independent` claims
+//! symbolically. This module *runs* the declared access pattern through the
+//! shadow-memory write-set tracker in `openacc_sim::exec` — real threaded
+//! host execution over a small grid with per-gang access logging — and
+//! checks whether any element is touched by two distinct iterations with at
+//! least one write. A static verdict the replay confirms is upgraded from
+//! "provable" to "witnessed"; a disagreement on the replayed trip count is
+//! a checker bug worth failing loudly over, which is exactly what the
+//! property tests assert never happens.
+
+use crate::dependence;
+use crate::program::Launch;
+use openacc_sim::access::AccessSet;
+use openacc_sim::exec::replay_access_set;
+
+/// Trip count the sanitizer clamps replays to: big enough to exercise every
+/// stencil tap, small enough that the threaded replay stays instant.
+pub const SANITIZE_TRIP: u64 = 512;
+
+/// Gangs the replay distributes iterations over.
+pub const SANITIZE_GANGS: usize = 4;
+
+/// What the dynamic replay observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicVerdict {
+    /// At least one element was touched by two distinct iterations with a
+    /// write involved; carries the number of conflicting elements.
+    Confirmed {
+        /// Distinct conflicting elements observed.
+        conflicts: usize,
+    },
+    /// Every element was touched by at most one iteration (or only read):
+    /// the claim held on this grid.
+    Refuted,
+}
+
+impl DynamicVerdict {
+    /// True when the replay witnessed a race.
+    pub fn is_race(&self) -> bool {
+        matches!(self, DynamicVerdict::Confirmed { .. })
+    }
+}
+
+/// Clamp an access set to a sanitizer-sized trip count.
+pub fn scaled(access: &AccessSet, max_trip: u64) -> AccessSet {
+    AccessSet {
+        trip: access.trip.min(max_trip),
+        reads: access.reads.clone(),
+        writes: access.writes.clone(),
+    }
+}
+
+/// Replay an access set on `gangs` host threads and judge the log.
+pub fn replay_verdict(access: &AccessSet, gangs: usize) -> DynamicVerdict {
+    let log = replay_access_set(access, gangs);
+    let conflicts = log.conflicts();
+    if conflicts.is_empty() {
+        DynamicVerdict::Refuted
+    } else {
+        let mut elems: Vec<i64> = conflicts.iter().map(|c| c.elem).collect();
+        elems.sort_unstable();
+        elems.dedup();
+        DynamicVerdict::Confirmed {
+            conflicts: elems.len(),
+        }
+    }
+}
+
+/// Static verdict and dynamic verdict for the same launch at the same
+/// (sanitizer-scaled) trip count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossCheck {
+    /// Did the Banerjee/GCD test find a loop-carried conflict?
+    pub static_race: bool,
+    /// What the shadow-log replay saw.
+    pub dynamic: DynamicVerdict,
+}
+
+impl CrossCheck {
+    /// The two tiers agree.
+    pub fn agree(&self) -> bool {
+        self.static_race == self.dynamic.is_race()
+    }
+}
+
+/// Run both tiers over one launch's declared accesses, both evaluated at
+/// the sanitizer trip count so the verdicts are directly comparable.
+pub fn crosscheck(l: &Launch) -> CrossCheck {
+    let access = scaled(&l.access, SANITIZE_TRIP);
+    let mut probe = l.clone();
+    probe.access = access.clone();
+    CrossCheck {
+        static_race: dependence::find_race(&probe).is_some(),
+        dynamic: replay_verdict(&access, SANITIZE_GANGS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::{Clause, ConstructKind, LoopNest};
+
+    fn launch(access: AccessSet) -> Launch {
+        Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[access.trip.max(1)]),
+            kind: ConstructKind::Kernels,
+            clauses: vec![Clause::Independent],
+            access,
+            regs: 32,
+        }
+    }
+
+    #[test]
+    fn inplace_stencil_confirmed_dynamically() {
+        let v = replay_verdict(&AccessSet::stencil_inplace(128, "u", 0, 4, 16), 4);
+        assert!(v.is_race());
+        if let DynamicVerdict::Confirmed { conflicts } = v {
+            assert!(conflicts > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_place_stencil_refuted_dynamically() {
+        // Output slot far from the input slot: no element is shared.
+        let v = replay_verdict(&AccessSet::stencil(128, "u", 10_000, 0, 4, 16), 4);
+        assert_eq!(v, DynamicVerdict::Refuted);
+    }
+
+    #[test]
+    fn tiers_agree_on_both_verdicts() {
+        let broken = crosscheck(&launch(AccessSet::stencil_inplace(4096, "u", 0, 4, 32)));
+        assert!(broken.static_race);
+        assert!(broken.dynamic.is_race());
+        assert!(broken.agree());
+
+        let clean = crosscheck(&launch(AccessSet::stencil(4096, "u", 100_000, 0, 4, 32)));
+        assert!(!clean.static_race);
+        assert_eq!(clean.dynamic, DynamicVerdict::Refuted);
+        assert!(clean.agree());
+    }
+
+    #[test]
+    fn scaling_clamps_trip_only() {
+        let a = AccessSet::stencil(1_000_000, "u", 5_000_000, 0, 4, 100);
+        let s = scaled(&a, SANITIZE_TRIP);
+        assert_eq!(s.trip, SANITIZE_TRIP);
+        assert_eq!(s.reads, a.reads);
+        assert_eq!(s.writes, a.writes);
+    }
+}

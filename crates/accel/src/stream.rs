@@ -66,6 +66,11 @@ impl StreamSim {
         self.queue.is_empty()
     }
 
+    /// True when at least one kernel is queued on `stream`.
+    pub fn has_queue(&self, stream: u32) -> bool {
+        self.queue.iter().any(|k| k.stream == stream)
+    }
+
     /// Drain only the kernels issued to `stream` (OpenACC `wait(queue)`).
     /// Within one queue kernels execute in order with no overlap; the
     /// makespan is their summed execution plus launch overheads.

@@ -35,7 +35,10 @@
 //! * [`resilient`] — fault-tolerant execution under a seeded
 //!   `accel_sim::fault::FaultPlan`: retry with jittered backoff, device
 //!   blacklisting and shot rescheduling, checkpoint-restart, and the
-//!   resilience accounting behind the overhead-vs-MTTI tables.
+//!   resilience accounting behind the overhead-vs-MTTI tables,
+//! * [`verify`] — directive-program extraction for `acc-verify`: the same
+//!   launch plans as checkable [`acc_verify::Program`]s, plus the seeded
+//!   mutations the verification tests break them with.
 
 pub mod case;
 pub mod checkpoint;
@@ -51,6 +54,7 @@ pub mod resilient;
 pub mod rtm;
 pub mod rtm3;
 pub mod shot_parallel;
+pub mod verify;
 
 pub use case::{Cluster, OptimizationConfig, SeismicCase};
 pub use error::{ConfigError, RtmError};

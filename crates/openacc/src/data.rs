@@ -9,7 +9,7 @@
 use accel_sim::memory::DeviceBuffer;
 use accel_sim::pcie::{transfer_time, HostAlloc, TransferKind};
 use accel_sim::{DeviceMemory, DeviceSpec, EventKind, OutOfMemory, Profiler, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Errors from data-environment operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,15 @@ pub enum DataError {
     NotPresent(String),
     /// Double mapping of the same name.
     AlreadyPresent(String),
+    /// `exit data delete` on a variable that was *already deleted* — the
+    /// double-free of the directive world, distinguished from
+    /// [`DataError::NotPresent`] (never mapped at all) so callers can tell
+    /// a stale directive sequence from a typo'd name.
+    AlreadyDeleted(String),
+    /// The host read a variable whose last write happened on the device
+    /// with no `update host` in between — the wrong-answer hazard the
+    /// paper's Section 5.4 consistency updates exist to prevent.
+    StaleHostRead(String),
 }
 
 impl std::fmt::Display for DataError {
@@ -29,6 +38,13 @@ impl std::fmt::Display for DataError {
             DataError::Oom(e) => write!(f, "{e}"),
             DataError::NotPresent(n) => write!(f, "variable '{n}' not present on device"),
             DataError::AlreadyPresent(n) => write!(f, "variable '{n}' already present on device"),
+            DataError::AlreadyDeleted(n) => {
+                write!(f, "variable '{n}' already deleted from the device")
+            }
+            DataError::StaleHostRead(n) => write!(
+                f,
+                "host read of '{n}' whose last write was on the device (missing `update host`)"
+            ),
         }
     }
 }
@@ -39,14 +55,28 @@ struct Mapping {
     #[allow(dead_code)] // held for its Drop (frees device bytes)
     buffer: DeviceBuffer,
     bytes: u64,
+    /// Device copy holds writes the host has not seen (`update host` clears).
+    device_dirty: bool,
+    /// Host copy holds writes the device has not seen (`update device` clears).
+    host_dirty: bool,
 }
 
 /// The data environment of one device context.
+///
+/// Besides capacity accounting, the environment keeps a *dirty bit* per
+/// mapped array in each direction: kernels report their writes through
+/// [`DataEnv::mark_device_write`], hosts report theirs through
+/// [`DataEnv::mark_host_write`], and [`DataEnv::host_read`] /
+/// [`DataEnv::device_read_check`] turn a read of stale data into a typed
+/// error instead of a silent wrong answer.
 pub struct DataEnv {
     dev: DeviceSpec,
     mem: DeviceMemory,
     host_alloc: HostAlloc,
     mapped: HashMap<String, Mapping>,
+    /// Names that were mapped once and have since been deleted
+    /// (distinguishes double-delete from never-mapped).
+    freed: HashSet<String>,
     transfer_s: SimTime,
 }
 
@@ -60,6 +90,7 @@ impl DataEnv {
             mem,
             host_alloc,
             mapped: HashMap::new(),
+            freed: HashSet::new(),
             transfer_s: 0.0,
         }
     }
@@ -89,17 +120,36 @@ impl DataEnv {
             return Err(DataError::AlreadyPresent(name.to_string()));
         }
         let buffer = self.mem.alloc(bytes).map_err(DataError::Oom)?;
-        self.mapped
-            .insert(name.to_string(), Mapping { buffer, bytes });
+        self.freed.remove(name);
+        self.mapped.insert(
+            name.to_string(),
+            Mapping {
+                buffer,
+                bytes,
+                device_dirty: false,
+                host_dirty: false,
+            },
+        );
         Ok(0.0)
     }
 
     /// `!$acc exit data delete(name)` — free device memory.
+    ///
+    /// Chosen semantics (documented because the OpenACC spec makes absent
+    /// deletes a silent no-op, which hides real directive-sequence bugs):
+    /// deleting a variable that is not mapped is an *error*, typed as
+    /// [`DataError::AlreadyDeleted`] when the name was mapped earlier in
+    /// this environment's lifetime (a double delete) and
+    /// [`DataError::NotPresent`] when it never was (a typo'd name).
     pub fn exit_data_delete(&mut self, name: &str) -> Result<(), DataError> {
-        self.mapped
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| DataError::NotPresent(name.to_string()))
+        match self.mapped.remove(name) {
+            Some(_) => {
+                self.freed.insert(name.to_string());
+                Ok(())
+            }
+            None if self.freed.contains(name) => Err(DataError::AlreadyDeleted(name.to_string())),
+            None => Err(DataError::NotPresent(name.to_string())),
+        }
     }
 
     /// `!$acc update host(name[range])` — download `bytes` (None = all).
@@ -112,9 +162,10 @@ impl DataEnv {
     ) -> Result<SimTime, DataError> {
         let m = self
             .mapped
-            .get(name)
+            .get_mut(name)
             .ok_or_else(|| DataError::NotPresent(name.to_string()))?;
         let n = bytes.unwrap_or(m.bytes).min(m.bytes);
+        m.device_dirty = false;
         let dt = transfer_time(&self.dev, n, self.host_alloc, kind);
         prof.record(EventKind::MemcpyD2H, format!("update_host:{name}"), dt, 0);
         self.transfer_s += dt;
@@ -131,9 +182,10 @@ impl DataEnv {
     ) -> Result<SimTime, DataError> {
         let m = self
             .mapped
-            .get(name)
+            .get_mut(name)
             .ok_or_else(|| DataError::NotPresent(name.to_string()))?;
         let n = bytes.unwrap_or(m.bytes).min(m.bytes);
+        m.host_dirty = false;
         let dt = transfer_time(&self.dev, n, self.host_alloc, kind);
         prof.record(EventKind::MemcpyH2D, format!("update_device:{name}"), dt, 0);
         self.transfer_s += dt;
@@ -147,6 +199,47 @@ impl DataEnv {
         } else {
             Err(DataError::NotPresent(name.to_string()))
         }
+    }
+
+    /// Record a device-side write of `name` (a kernel launch listing it in
+    /// its write set). Sets the device dirty bit; a no-op on unmapped names
+    /// (the launch-side `present` check reports those).
+    pub fn mark_device_write(&mut self, name: &str) {
+        if let Some(m) = self.mapped.get_mut(name) {
+            m.device_dirty = true;
+        }
+    }
+
+    /// Record a host-side write of `name` (the driver refreshed its copy
+    /// before an `update device`). Sets the host dirty bit.
+    pub fn mark_host_write(&mut self, name: &str) {
+        if let Some(m) = self.mapped.get_mut(name) {
+            m.host_dirty = true;
+        }
+    }
+
+    /// The stale-host-read detector: a host read of a mapped array whose
+    /// last write happened on the device (no `update host` since) returns
+    /// [`DataError::StaleHostRead`]. Reads of unmapped or coherent arrays
+    /// are fine.
+    pub fn host_read(&self, name: &str) -> Result<(), DataError> {
+        match self.mapped.get(name) {
+            Some(m) if m.device_dirty => Err(DataError::StaleHostRead(name.to_string())),
+            _ => Ok(()),
+        }
+    }
+
+    /// The dual check: true when a device read of `name` would observe a
+    /// host copy not yet uploaded (`update device` missing after a host
+    /// write).
+    pub fn device_copy_stale(&self, name: &str) -> bool {
+        self.mapped.get(name).is_some_and(|m| m.host_dirty)
+    }
+
+    /// Whether the device copy of `name` carries writes the host has not
+    /// downloaded.
+    pub fn device_dirty(&self, name: &str) -> bool {
+        self.mapped.get(name).is_some_and(|m| m.device_dirty)
     }
 
     /// Bytes currently resident (what `nvidia-smi` guided in Section 5.1).
@@ -254,6 +347,52 @@ mod tests {
         e.update_device("a", None, TransferKind::Contiguous, &p)
             .unwrap();
         assert!(e.transfer_time() > t1);
+    }
+
+    #[test]
+    fn double_delete_vs_never_mapped_are_distinct_errors() {
+        let (mut e, p) = env();
+        e.enter_data_copyin("u", 100, &p).unwrap();
+        e.exit_data_delete("u").unwrap();
+        assert!(matches!(
+            e.exit_data_delete("u"),
+            Err(DataError::AlreadyDeleted(_))
+        ));
+        assert!(matches!(
+            e.exit_data_delete("ghost"),
+            Err(DataError::NotPresent(_))
+        ));
+        // Remapping clears the tombstone: the next delete succeeds again.
+        e.enter_data_copyin("u", 100, &p).unwrap();
+        assert!(e.exit_data_delete("u").is_ok());
+    }
+
+    #[test]
+    fn dirty_bits_catch_stale_host_reads() {
+        let (mut e, p) = env();
+        e.enter_data_copyin("u", 1 << 20, &p).unwrap();
+        // Fresh copyin is coherent.
+        assert!(e.host_read("u").is_ok());
+        e.mark_device_write("u");
+        assert!(e.device_dirty("u"));
+        assert!(matches!(e.host_read("u"), Err(DataError::StaleHostRead(_))));
+        e.update_host("u", None, TransferKind::Contiguous, &p)
+            .unwrap();
+        assert!(e.host_read("u").is_ok());
+        // Unmapped names never trip the detector (host-only data).
+        assert!(e.host_read("host_only").is_ok());
+    }
+
+    #[test]
+    fn host_dirty_cleared_by_update_device() {
+        let (mut e, p) = env();
+        e.enter_data_copyin("u", 1 << 20, &p).unwrap();
+        assert!(!e.device_copy_stale("u"));
+        e.mark_host_write("u");
+        assert!(e.device_copy_stale("u"));
+        e.update_device("u", None, TransferKind::Contiguous, &p)
+            .unwrap();
+        assert!(!e.device_copy_stale("u"));
     }
 
     #[test]

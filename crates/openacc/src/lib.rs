@@ -10,6 +10,10 @@
 //!   `exit data delete`, `update host/device`, `present`, `create`, with
 //!   real capacity accounting on the simulated card and every transfer
 //!   priced through the PCIe model and recorded in the profiler,
+//! * [`access`] — declared per-kernel read/write sets as affine
+//!   `base + stride·i` descriptors: the checkable form of every directive
+//!   claim, consumed by the `acc-verify` static analyzer and replayed by
+//!   the Tier-2 sanitizer in [`exec`],
 //! * [`construct`] — the compute constructs: `kernels` and `parallel` with
 //!   loop scheduling clauses (`gang`/`worker`/`vector`, `collapse`,
 //!   `independent`, `seq`, `async`),
@@ -27,13 +31,15 @@
 //!   roofline model, append to a stream queue, and advance the simulated
 //!   clock; data directives move simulated bytes.
 
+pub mod access;
 pub mod compiler;
 pub mod construct;
 pub mod data;
 pub mod exec;
 pub mod runtime;
 
+pub use access::{AccessSet, AffineAccess};
 pub use compiler::{Compiler, KernelPlan, PgiVersion};
 pub use construct::{Clause, ConstructKind, LoopNest, LoopSched};
 pub use data::DataEnv;
-pub use runtime::AccRuntime;
+pub use runtime::{AccRuntime, RuntimeError};

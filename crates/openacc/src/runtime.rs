@@ -1,5 +1,6 @@
 //! The OpenACC runtime: clock, launches, data movement, async queues.
 
+use crate::access::AccessSet;
 use crate::compiler::Compiler;
 use crate::construct::{Clause, ConstructKind, LoopNest};
 use crate::data::{DataEnv, DataError};
@@ -8,6 +9,40 @@ use accel_sim::pcie::{HostAlloc, TransferKind};
 use accel_sim::stream::{IssueMode, QueuedKernel, StreamSim};
 use accel_sim::{DeviceSpec, EventKind, Profiler, SimTime};
 use seismic_prop::desc::KernelDesc;
+
+/// Errors from runtime operations — the same vocabulary `acc-verify`
+/// diagnoses statically, surfaced at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A data-environment operation failed.
+    Data(DataError),
+    /// `wait` with no asynchronous work pending anywhere — almost always a
+    /// doubled `wait` directive (the first drain already consumed the
+    /// queues), surfaced explicitly instead of as a silent zero-time no-op.
+    NothingPending,
+    /// `wait(queue)` on a queue with nothing in flight.
+    QueueEmpty(u32),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Data(e) => write!(f, "{e}"),
+            RuntimeError::NothingPending => {
+                write!(f, "wait with no async work pending (doubled wait?)")
+            }
+            RuntimeError::QueueEmpty(q) => write!(f, "wait on empty async queue {q}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<DataError> for RuntimeError {
+    fn from(e: DataError) -> Self {
+        RuntimeError::Data(e)
+    }
+}
 
 /// A device context: simulated clock + data environment + async queues.
 ///
@@ -119,24 +154,68 @@ impl AccRuntime {
         timing
     }
 
+    /// Launch with a declared access pattern: performs the `present` check
+    /// the directive implies for every referenced array, marks written
+    /// arrays device-dirty (feeding the stale-host-read detector), then
+    /// launches as [`AccRuntime::launch`] does.
+    pub fn launch_with_access(
+        &mut self,
+        desc: &KernelDesc,
+        nest: &LoopNest,
+        kind: ConstructKind,
+        clauses: &[Clause],
+        access: &AccessSet,
+    ) -> Result<KernelTiming, RuntimeError> {
+        for array in access.arrays() {
+            self.data.present(array)?;
+        }
+        for array in access.written_arrays() {
+            self.data.mark_device_write(array);
+        }
+        Ok(self.launch(desc, nest, kind, clauses))
+    }
+
     /// `!$acc wait` — drain all async queues, advancing the clock by the
     /// overlapped makespan.
+    ///
+    /// A `wait` with nothing pending is the OpenACC-spec no-op and returns
+    /// `0.0`; use [`AccRuntime::try_wait_async`] when a doubled wait should
+    /// be an error instead.
     pub fn wait_async(&mut self) -> SimTime {
+        self.try_wait_async().unwrap_or(0.0)
+    }
+
+    /// `!$acc wait`, strict form: draining with no async work pending
+    /// returns [`RuntimeError::NothingPending`] rather than silently doing
+    /// nothing. This is the semantics `acc-verify`'s sanitizer runs under —
+    /// a doubled `wait` in a directive sequence is almost always a logic
+    /// error (the barrier the author expects is not where they think).
+    pub fn try_wait_async(&mut self) -> Result<SimTime, RuntimeError> {
         if self.queue.is_empty() {
-            return 0.0;
+            return Err(RuntimeError::NothingPending);
         }
         let dev = self.data.device().clone();
         let t = self.queue.drain_makespan(&dev, IssueMode::AsyncStreams);
         self.clock += t;
-        t
+        Ok(t)
     }
 
-    /// `!$acc wait(queue)` — drain one async queue only.
+    /// `!$acc wait(queue)` — drain one async queue only; `0.0` when the
+    /// queue is empty (spec no-op, see [`AccRuntime::try_wait_queue`]).
     pub fn wait_queue(&mut self, queue: u32) -> SimTime {
+        self.try_wait_queue(queue).unwrap_or(0.0)
+    }
+
+    /// `!$acc wait(queue)`, strict form: an empty queue returns
+    /// [`RuntimeError::QueueEmpty`].
+    pub fn try_wait_queue(&mut self, queue: u32) -> Result<SimTime, RuntimeError> {
+        if !self.queue.has_queue(queue) {
+            return Err(RuntimeError::QueueEmpty(queue));
+        }
         let dev = self.data.device().clone();
         let t = self.queue.drain_queue_makespan(&dev, queue);
         self.clock += t;
-        t
+        Ok(t)
     }
 
     /// A structured `!$acc data copyin(...)` region: maps every listed
@@ -151,18 +230,31 @@ impl AccRuntime {
         let mut mapped: Vec<String> = Vec::with_capacity(vars.len());
         for (name, bytes) in vars {
             if let Err(e) = self.enter_data_copyin(name, *bytes) {
-                for done in mapped.iter().rev() {
-                    self.exit_data_delete(done).expect("mapped in this region");
-                }
+                self.unmap_region(&mapped)?;
                 return Err(e);
             }
             mapped.push((*name).to_string());
         }
         let out = body(self);
-        for done in mapped.iter().rev() {
-            self.exit_data_delete(done).expect("mapped in this region");
-        }
+        self.unmap_region(&mapped)?;
         Ok(out)
+    }
+
+    /// Unmap a structured region's variables in reverse order. The names
+    /// were mapped by this region, so a delete failure means the body
+    /// deleted one itself — surfaced as the typed error rather than a
+    /// panic, after the remaining names are still cleaned up.
+    fn unmap_region(&mut self, mapped: &[String]) -> Result<(), DataError> {
+        let mut first_err = None;
+        for done in mapped.iter().rev() {
+            if let Err(e) = self.exit_data_delete(done) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Data directive: `enter data copyin`, advancing the clock.
@@ -371,5 +463,56 @@ mod tests {
         let mut r = rt();
         r.advance_host(1.5);
         assert_eq!(r.elapsed(), 1.5);
+    }
+
+    /// Doubled waits are typed errors in strict form, spec no-ops in the
+    /// permissive form.
+    #[test]
+    fn double_wait_is_typed() {
+        let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+        let nest = LoopNest::new(&[64, 64]);
+        r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(2)]);
+        assert!(r.try_wait_async().is_ok());
+        assert_eq!(r.try_wait_async(), Err(RuntimeError::NothingPending));
+        assert_eq!(r.wait_async(), 0.0, "permissive form stays a no-op");
+        assert_eq!(r.try_wait_queue(7), Err(RuntimeError::QueueEmpty(7)));
+        assert_eq!(r.wait_queue(7), 0.0);
+    }
+
+    #[test]
+    fn launch_with_access_checks_presence_and_marks_dirty() {
+        use crate::access::AccessSet;
+        let mut r = rt();
+        let nest = LoopNest::new(&[128, 128]);
+        let acc = AccessSet::stencil(nest.points(), "u", 1 << 20, 0, 4, 128);
+        // Not mapped yet: the implied present check fails.
+        let err = r
+            .launch_with_access(&desc(), &nest, ConstructKind::Kernels, &[], &acc)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Data(DataError::NotPresent(_))));
+        r.enter_data_copyin("u", 8 << 20).unwrap();
+        r.launch_with_access(&desc(), &nest, ConstructKind::Kernels, &[], &acc)
+            .unwrap();
+        // The write set left the device copy dirty: a host read must fail
+        // until update_host.
+        assert!(matches!(
+            r.data().host_read("u"),
+            Err(DataError::StaleHostRead(_))
+        ));
+        r.update_host("u", None, TransferKind::Contiguous).unwrap();
+        assert!(r.data().host_read("u").is_ok());
+    }
+
+    /// A body that deletes a region variable itself surfaces the typed
+    /// double-delete instead of panicking, and the region still unmaps the
+    /// rest.
+    #[test]
+    fn data_region_reports_body_deletes() {
+        let mut r = rt();
+        let out = r.data_region(&[("a", 1 << 20), ("b", 1 << 20)], |rt| {
+            rt.exit_data_delete("b").unwrap();
+        });
+        assert!(matches!(out, Err(DataError::AlreadyDeleted(_))));
+        assert_eq!(r.data().device_bytes_in_use(), 0, "region still cleaned");
     }
 }

@@ -1,0 +1,86 @@
+//! Verify the directive programs of the twelve paper cases.
+//!
+//! ```text
+//! accverify [--all-cases] [--naive] [--deny warnings] [--json PATH]
+//! ```
+//!
+//! Runs the `acc-verify` static tier over every case's modeling and RTM
+//! program at table scale, prints the lint report, optionally writes the
+//! machine-readable JSON report, and exits nonzero when any program has
+//! errors (or warnings, under `--deny warnings`). CI runs
+//! `accverify --all-cases --deny warnings` as the acceptance gate.
+
+use repro::verify::{report_table, reports_json, verify_all_cases};
+use rtm_core::case::OptimizationConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warnings = false;
+    let mut naive = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // The default already verifies all 12 cases; the flag is the
+            // explicit spelling CI uses.
+            "--all-cases" => {}
+            "--naive" => naive = true,
+            "--deny" if args.get(i + 1).map(String::as_str) == Some("warnings") => {
+                deny_warnings = true;
+                i += 1;
+            }
+            "--deny=warnings" => deny_warnings = true,
+            "--json" if i + 1 < args.len() => {
+                json_path = Some(args[i + 1].clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("accverify: unknown argument `{other}`");
+                eprintln!(
+                    "usage: accverify [--all-cases] [--naive] [--deny warnings] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = if naive {
+        OptimizationConfig::naive()
+    } else {
+        OptimizationConfig::default()
+    };
+    let reports = verify_all_cases(&config);
+    print!("{}", report_table(&reports));
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, reports_json(&reports)) {
+            eprintln!("accverify: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        println!("JSON report written to {path}");
+    }
+
+    let failed = reports.iter().filter(|r| r.fails(deny_warnings)).count();
+    if failed > 0 {
+        eprintln!(
+            "accverify: {failed} of {} programs fail{}",
+            reports.len(),
+            if deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "accverify: all {} programs verify clean{}",
+        reports.len(),
+        if deny_warnings {
+            " (warnings denied)"
+        } else {
+            ""
+        }
+    );
+}

@@ -12,7 +12,9 @@
 //! * [`render`] — ASCII / PGM rendering of wavefields and images
 //!   (Figures 3 and 5),
 //! * [`resilience`] — overhead-vs-MTTI sweeps of the fault-tolerant
-//!   executor and checkpoint-restart recompute measurements.
+//!   executor and checkpoint-restart recompute measurements,
+//! * [`verify`] — the `acc-verify` lint report over the twelve cases (the
+//!   `accverify` binary and CI gate).
 //!
 //! [`ablation`] adds studies of the design choices DESIGN.md calls out
 //! (working tile/cache clauses, pinned memory, partial transfers, C-PML
@@ -28,3 +30,4 @@ pub mod paper;
 pub mod render;
 pub mod resilience;
 pub mod table;
+pub mod verify;

@@ -1,0 +1,164 @@
+//! Directive verification over the twelve paper cases.
+//!
+//! Runs the `acc-verify` static tier over the modeling and RTM programs of
+//! every seismic case at table scale and renders the lint report the
+//! `accverify` binary (and CI) consumes. The paper's best configuration
+//! must come back clean — that is the acceptance gate — while the naive
+//! configuration reproduces the Section 5 findings as diagnostics.
+
+use crate::cases::table_workload;
+use acc_verify::diag::report_json;
+use acc_verify::{Diagnostic, Severity, VerifyContext};
+use openacc_sim::{Compiler, PgiVersion};
+use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase};
+use rtm_core::verify::case_programs;
+
+/// One verified program's findings.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Program label (`"ISOTROPIC 2D modeling"`, …).
+    pub program: String,
+    /// All diagnostics, ordered as [`acc_verify::verify_program`] returns.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CaseReport {
+    /// Diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        acc_verify::count_at(&self.diagnostics, severity)
+    }
+
+    /// Does this report fail under the given policy?
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        acc_verify::fails(&self.diagnostics, deny_warnings)
+    }
+}
+
+/// The verification context the tables use: the paper's best-performing
+/// toolchain (PGI 14.6 on the K40 cluster).
+pub fn table_context() -> VerifyContext {
+    VerifyContext {
+        compiler: Compiler::Pgi(PgiVersion::V14_6),
+        device: Cluster::CrayXc30.device(),
+    }
+}
+
+/// Verify the 12 cases (6 propagators × {modeling, RTM}) at table scale
+/// under `config`.
+pub fn verify_all_cases(config: &OptimizationConfig) -> Vec<CaseReport> {
+    let ctx = table_context();
+    let mut reports = Vec::with_capacity(12);
+    for case in SeismicCase::all() {
+        let w = table_workload(&case);
+        for prog in case_programs(&case, config, ctx.compiler, &w) {
+            let diagnostics = acc_verify::verify_program(&prog, &ctx);
+            reports.push(CaseReport {
+                program: prog.name,
+                diagnostics,
+            });
+        }
+    }
+    reports
+}
+
+/// Render the report table plus every diagnostic line.
+pub fn report_table(reports: &[CaseReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>6} {:>8} {:>5}  verdict\n",
+        "program", "errors", "warnings", "info"
+    ));
+    out.push_str(&"-".repeat(56));
+    out.push('\n');
+    for r in reports {
+        let errors = r.count(Severity::Error);
+        let warnings = r.count(Severity::Warning);
+        let info = r.count(Severity::Info);
+        let verdict = if errors > 0 {
+            "FAIL"
+        } else if warnings > 0 {
+            "warn"
+        } else {
+            "clean"
+        };
+        out.push_str(&format!(
+            "{:<24} {errors:>6} {warnings:>8} {info:>5}  {verdict}\n",
+            r.program
+        ));
+    }
+    for r in reports {
+        for d in &r.diagnostics {
+            out.push_str(&format!("  {}: {}\n", r.program, d.render()));
+        }
+    }
+    out
+}
+
+/// The machine-readable report: a JSON array with one object per program.
+pub fn reports_json(reports: &[CaseReport]) -> String {
+    let items: Vec<String> = reports
+        .iter()
+        .map(|r| report_json(&r.program, &r.diagnostics))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_verify::Rule;
+
+    #[test]
+    fn twelve_programs_and_best_config_is_clean() {
+        let reports = verify_all_cases(&OptimizationConfig::default());
+        assert_eq!(reports.len(), 12);
+        for r in &reports {
+            assert_eq!(
+                r.count(Severity::Error),
+                0,
+                "{}: {:?}",
+                r.program,
+                r.diagnostics
+            );
+            assert_eq!(
+                r.count(Severity::Warning),
+                0,
+                "{}: {:?}",
+                r.program,
+                r.diagnostics
+            );
+            assert!(!r.fails(true));
+        }
+        let labels: std::collections::HashSet<_> =
+            reports.iter().map(|r| r.program.as_str()).collect();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn naive_config_reproduces_section5_findings() {
+        let reports = verify_all_cases(&OptimizationConfig::naive());
+        let all: Vec<&Diagnostic> = reports.iter().flat_map(|r| &r.diagnostics).collect();
+        // Figure 13: the direct acoustic-2D sweep is uncoalesced.
+        assert!(all
+            .iter()
+            .any(|d| d.rule == Rule::UncoalescedAccess && d.severity == Severity::Warning));
+        // Figure 10/12: the fused pressure kernel's register pressure.
+        assert!(all.iter().any(|d| d.rule == Rule::RegisterPressure));
+        // Still no correctness errors: naive is slow, not wrong.
+        assert!(reports.iter().all(|r| r.count(Severity::Error) == 0));
+        assert!(reports.iter().any(|r| r.fails(true)));
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let reports = verify_all_cases(&OptimizationConfig::default());
+        let table = report_table(&reports);
+        assert!(table.contains("ISOTROPIC 2D modeling"));
+        assert!(table.contains("ELASTIC 3D RTM"));
+        assert!(table.contains("clean"));
+        let json = reports_json(&reports);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"program\"").count(), 12);
+        assert!(json.contains("\"errors\":0"));
+    }
+}

@@ -348,6 +348,112 @@ proptest! {
         }
     }
 
+    /// Any seeded in-place mutation of any case's directive program — the
+    /// classic false-`independent` bug — is flagged statically as a race at
+    /// the mutated op, and Tier 2's shadow-memory replay on a small grid
+    /// witnesses the same conflict, so the two tiers agree.
+    #[test]
+    fn seeded_inplace_mutation_caught_by_both_tiers(
+        case_idx in 0usize..6,
+        rtm in any::<bool>(),
+        pick in any::<u64>(),
+        gangs in 2usize..8,
+    ) {
+        use acc_verify::{sanitize, Op, Rule, VerifyContext};
+        use openacc_sim::{Compiler, PgiVersion};
+        use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase};
+        use rtm_core::gpu_time::test_workload;
+        use rtm_core::verify::{break_kernel_inplace, breakable_launches, case_programs};
+
+        let case = SeismicCase::all()[case_idx];
+        let w = test_workload(case.dims);
+        let compiler = Compiler::Pgi(PgiVersion::V14_6);
+        let programs = case_programs(&case, &OptimizationConfig::default(), compiler, &w);
+        let mut prog = programs.into_iter().nth(usize::from(rtm)).unwrap();
+
+        let eligible = breakable_launches(&prog);
+        prop_assert!(eligible > 0, "{}: no breakable launch", prog.name);
+        let nth = (pick % eligible as u64) as usize;
+        let mutated = break_kernel_inplace(&mut prog, nth);
+        prop_assert!(mutated.is_some());
+        let mutated = mutated.unwrap();
+
+        // Tier 1: the static dependence test pins the race on the mutated op.
+        let ctx = VerifyContext {
+            compiler,
+            device: Cluster::CrayXc30.device(),
+        };
+        let diags = acc_verify::verify_program(&prog, &ctx);
+        prop_assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::IndependentRace && d.span.op == mutated),
+            "{}: no race at op {mutated}: {diags:?}",
+            prog.name
+        );
+
+        // Tier 2: the threaded replay confirms it, for any gang count.
+        let Op::Launch(l) = &prog.ops[mutated] else {
+            return Err("mutated op is not a launch".into());
+        };
+        let cc = sanitize::crosscheck(l);
+        prop_assert!(cc.static_race, "{}: static tier missed the race", l.name);
+        prop_assert!(cc.dynamic.is_race(), "{}: replay missed the race", l.name);
+        prop_assert!(cc.agree());
+        let scaled = sanitize::scaled(&l.access, sanitize::SANITIZE_TRIP);
+        prop_assert!(
+            sanitize::replay_verdict(&scaled, gangs).is_race(),
+            "{}: replay with {gangs} gangs missed the race",
+            l.name
+        );
+    }
+
+    /// The twelve paper programs verify clean under the best configuration
+    /// no matter the seed, and Tier 2 agrees: a seed-chosen launch of a
+    /// seed-chosen program replays conflict-free at any gang count.
+    #[test]
+    fn clean_verdicts_stable_across_seeds(
+        report_pick in any::<u64>(),
+        launch_pick in any::<u64>(),
+        gangs in 2usize..8,
+    ) {
+        use acc_verify::{sanitize, Severity};
+        use repro::verify::verify_all_cases;
+        use rtm_core::case::{OptimizationConfig, SeismicCase};
+        use rtm_core::verify::case_programs;
+
+        let reports = verify_all_cases(&OptimizationConfig::default());
+        prop_assert_eq!(reports.len(), 12);
+        for r in &reports {
+            prop_assert_eq!(r.count(Severity::Error), 0, "{}", r.program);
+            prop_assert_eq!(r.count(Severity::Warning), 0, "{}", r.program);
+            prop_assert!(!r.fails(true), "{}", r.program);
+        }
+
+        // Replay one arbitrary launch of one arbitrary program: clean
+        // programs stay conflict-free under the dynamic tier too.
+        let case = SeismicCase::all()[(report_pick % 6) as usize];
+        let w = repro::cases::table_workload(&case);
+        let programs = case_programs(
+            &case,
+            &OptimizationConfig::default(),
+            repro::verify::table_context().compiler,
+            &w,
+        );
+        let prog = &programs[(report_pick % 2) as usize];
+        let launches: Vec<_> = prog.launches().collect();
+        prop_assert!(!launches.is_empty());
+        let (_, l) = launches[(launch_pick % launches.len() as u64) as usize];
+        let scaled = sanitize::scaled(&l.access, sanitize::SANITIZE_TRIP);
+        let verdict = sanitize::replay_verdict(&scaled, gangs);
+        prop_assert!(
+            !verdict.is_race(),
+            "{} / {}: spurious dynamic race with {gangs} gangs",
+            prog.name,
+            l.name
+        );
+    }
+
     /// Resilient scheduling places every shot exactly once whenever at
     /// least one rank survives, no matter which ranks the plan kills; with
     /// every rank dead it fails with the typed error instead of looping.
