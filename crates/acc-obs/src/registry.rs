@@ -1,0 +1,206 @@
+//! Named counters, gauges, and log-bucketed histograms.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: powers of 10 from `1e-9` up, plus an
+/// overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 20;
+
+/// Smallest bucket upper bound.
+pub const HISTOGRAM_FIRST_BOUND: f64 = 1e-9;
+
+/// Fixed-log-bucket histogram: bucket `i` counts observations
+/// `≤ 1e-9·10^i`, the last bucket is overflow. One shape fits both
+/// second- and byte-valued observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Upper bound of bucket `i` (the last bucket has no bound).
+    pub fn bound(i: usize) -> f64 {
+        HISTOGRAM_FIRST_BOUND * 10f64.powi(i as i32)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let mut idx = HISTOGRAM_BUCKETS - 1;
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            if value <= Self::bound(i) {
+                idx = i;
+                break;
+            }
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// The histogram as a JSON object.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut o = serde_json::Map::new();
+        o.insert("count", self.count);
+        o.insert("sum", self.sum);
+        o.insert(
+            "buckets",
+            self.buckets
+                .iter()
+                .map(|&c| c.into())
+                .collect::<Vec<serde_json::Value>>(),
+        );
+        o.insert(
+            "bounds",
+            (0..HISTOGRAM_BUCKETS - 1)
+                .map(|i| Self::bound(i).into())
+                .collect::<Vec<serde_json::Value>>(),
+        );
+        serde_json::Value::Object(o)
+    }
+}
+
+/// Thread-safe metrics registry. Well-known names used by the pipeline:
+/// `kernels_launched`, `bytes_h2d`, `bytes_d2h`, `halo_bytes`,
+/// `halo_exchanges`, `shot_retries`, `checkpoint_bytes`,
+/// `checkpoints_written`, `checkpoints_restored`, `ranks_blacklisted`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().get(name).cloned()
+    }
+
+    /// The whole registry as one JSON object
+    /// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (k, v) in self.counters.lock().iter() {
+            counters.insert(k.as_str(), *v);
+        }
+        let mut gauges = serde_json::Map::new();
+        for (k, v) in self.gauges.lock().iter() {
+            gauges.insert(k.as_str(), *v);
+        }
+        let mut histograms = serde_json::Map::new();
+        for (k, h) in self.histograms.lock().iter() {
+            histograms.insert(k.as_str(), h.to_json());
+        }
+        let mut o = serde_json::Map::new();
+        o.insert("counters", counters);
+        o.insert("gauges", gauges);
+        o.insert("histograms", histograms);
+        serde_json::Value::Object(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        assert_eq!(r.counter("kernels_launched"), 0);
+        r.inc("kernels_launched", 3);
+        r.inc("kernels_launched", 2);
+        assert_eq!(r.counter("kernels_launched"), 5);
+        r.set_gauge("occupancy", 0.62);
+        assert_eq!(r.gauge("occupancy"), Some(0.62));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_decade() {
+        let mut h = Histogram::default();
+        h.observe(5e-10); // bucket 0 (≤1e-9)
+        h.observe(5e-9); // bucket 1
+        h.observe(1.0); // ≤1e0 → bucket 9
+        h.observe(1e30); // overflow
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert!((h.sum - (5e-10 + 5e-9 + 1.0 + 1e30)).abs() < 1e18);
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        let r = Registry::new();
+        r.inc("bytes_h2d", 1024);
+        r.set_gauge("makespan_s", 12.5);
+        r.observe("kernel_exec_s", 3.2e-3);
+        let j = serde_json::to_string(&r.to_json());
+        let v = serde_json::from_str(&j).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("bytes_h2d")
+                .unwrap()
+                .as_u64(),
+            Some(1024)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("makespan_s").unwrap().as_f64(),
+            Some(12.5)
+        );
+        let h = v.get("histograms").unwrap().get("kernel_exec_s").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+    }
+}

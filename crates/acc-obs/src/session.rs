@@ -1,0 +1,80 @@
+//! One observability session bundling tracer + metrics + registry.
+
+use crate::metrics::MetricsTable;
+use crate::registry::Registry;
+use crate::span::Span;
+use crate::tracer::Tracer;
+use accel_sim::{DeviceSpec, KernelProfile, RooflineTerms, SimTime};
+use parking_lot::Mutex;
+
+/// The bundle every instrumented layer shares (behind an `Arc`): the
+/// OpenACC runtime, the MPI halo simulator, and the RTM drivers all record
+/// into the same session, which `accprof` then serializes as one timeline,
+/// one metrics table, and one registry snapshot.
+#[derive(Debug, Default)]
+pub struct ObsSession {
+    /// Span timeline.
+    pub tracer: Tracer,
+    /// Per-kernel counter table.
+    metrics: Mutex<MetricsTable>,
+    /// Counters / gauges / histograms.
+    pub registry: Registry,
+}
+
+impl ObsSession {
+    /// Empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a span (convenience passthrough).
+    pub fn span(&self, span: Span) {
+        self.tracer.record(span);
+    }
+
+    /// Record one kernel launch into the metrics table and the standard
+    /// registry series (`kernels_launched`, `kernel_exec_s` histogram).
+    pub fn record_kernel(
+        &self,
+        dev: &DeviceSpec,
+        profile: &KernelProfile,
+        terms: &RooflineTerms,
+        exec_s: SimTime,
+    ) {
+        self.metrics.lock().record(dev, profile, terms, exec_s);
+        self.registry.inc("kernels_launched", 1);
+        self.registry.observe("kernel_exec_s", exec_s);
+    }
+
+    /// Snapshot of the metrics table.
+    pub fn metrics(&self) -> MetricsTable {
+        self.metrics.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanCat, Track};
+    use accel_sim::kernel::roofline_terms;
+
+    #[test]
+    fn session_routes_to_all_three_sinks() {
+        let s = ObsSession::new();
+        let dev = DeviceSpec::k40();
+        let p = KernelProfile::new("k", 1 << 16, 40.0, 20.0, 40);
+        let t = roofline_terms(&dev, &p);
+        s.record_kernel(&dev, &p, &t, t.exec_s);
+        s.span(Span::new(
+            Track::DeviceStream(0),
+            SpanCat::Kernel,
+            "k",
+            0.0,
+            t.exec_s,
+        ));
+        assert_eq!(s.registry.counter("kernels_launched"), 1);
+        assert_eq!(s.metrics().len(), 1);
+        assert_eq!(s.tracer.len(), 1);
+        assert_eq!(s.registry.histogram("kernel_exec_s").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Thread-safe span collector and Chrome/Perfetto trace serializer.
+
+use crate::span::{Span, Track};
+use parking_lot::Mutex;
+
+/// Collects [`Span`]s from every layer; exports a Perfetto-compatible
+/// Chrome trace-event JSON document via `serde_json` (names with quotes,
+/// backslashes, or control characters stay valid JSON).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Tracer {
+    /// Empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one span.
+    pub fn record(&self, span: Span) {
+        self.spans.lock().push(span);
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Snapshot sorted by (track, start, name) — deterministic regardless
+    /// of the interleaving concurrent recorders produced, and grouped the
+    /// way per-track validation wants to walk it.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = self.spans.lock().clone();
+        out.sort_by(|a, b| {
+            a.track
+                .cmp(&b.track)
+                .then_with(|| a.start_s.total_cmp(&b.start_s))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        out
+    }
+
+    /// The distinct tracks spans were recorded on, sorted.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut t: Vec<Track> = self.spans.lock().iter().map(|s| s.track).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// Forget all spans.
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// Validate track discipline: on every track, spans sorted by start
+    /// must be monotone and either disjoint or fully nested (flame-stack
+    /// shape — a host phase span may contain directive spans, but partial
+    /// overlap is a recording bug). Device-stream and rank tracks are
+    /// emitted strictly serial, so they pass with depth 1.
+    pub fn validate_tracks(&self) -> Result<(), String> {
+        const EPS: f64 = 1e-9;
+        let mut spans = self.spans();
+        // Parents (longer spans) before children at equal starts.
+        spans.sort_by(|a, b| {
+            a.track
+                .cmp(&b.track)
+                .then_with(|| a.start_s.total_cmp(&b.start_s))
+                .then_with(|| b.end_s().total_cmp(&a.end_s()))
+        });
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        let mut cur_track: Option<Track> = None;
+        for s in &spans {
+            if s.dur_s < 0.0 {
+                return Err(format!("span '{}' has negative duration", s.name));
+            }
+            if cur_track != Some(s.track) {
+                cur_track = Some(s.track);
+                stack.clear();
+            }
+            let (start, end) = (s.start_s, s.end_s());
+            while let Some(&(_, pe)) = stack.last() {
+                if start >= pe - EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(ps, pe)) = stack.last() {
+                if end > pe + EPS {
+                    return Err(format!(
+                        "span '{}' [{start}, {end}] partially overlaps [{ps}, {pe}] on track {}",
+                        s.name,
+                        s.track.label()
+                    ));
+                }
+            }
+            stack.push((start, end));
+        }
+        Ok(())
+    }
+
+    /// The timeline as a Chrome trace-event array: one complete event
+    /// (`ph: "X"`, microsecond `ts`/`dur`) per span, `pid` = process name,
+    /// `tid` = track label, payload bytes and annotations under `args`.
+    pub fn chrome_trace(&self, process_name: &str) -> serde_json::Value {
+        let spans = self.spans();
+        let mut events = Vec::with_capacity(spans.len());
+        for s in &spans {
+            let mut obj = serde_json::Map::new();
+            obj.insert("name", s.name.as_str());
+            obj.insert("cat", s.cat.as_str());
+            obj.insert("ph", "X");
+            obj.insert("ts", s.start_s * 1e6);
+            obj.insert("dur", s.dur_s * 1e6);
+            obj.insert("pid", process_name);
+            obj.insert("tid", s.track.label());
+            if s.bytes > 0 || !s.args.is_empty() {
+                let mut args = serde_json::Map::new();
+                if s.bytes > 0 {
+                    args.insert("bytes", s.bytes);
+                }
+                for (k, v) in &s.args {
+                    args.insert(k.as_str(), v.as_str());
+                }
+                obj.insert("args", args);
+            }
+            events.push(serde_json::Value::Object(obj));
+        }
+        serde_json::Value::Array(events)
+    }
+
+    /// [`Self::chrome_trace`] wrapped in the standard envelope
+    /// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`) and serialized.
+    pub fn export_chrome(&self, process_name: &str) -> String {
+        let mut doc = serde_json::Map::new();
+        doc.insert("traceEvents", self.chrome_trace(process_name));
+        doc.insert("displayTimeUnit", "ms");
+        serde_json::to_string(&serde_json::Value::Object(doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanCat;
+
+    #[test]
+    fn records_sorts_and_lists_tracks() {
+        let t = Tracer::new();
+        t.record(Span::new(
+            Track::DeviceStream(0),
+            SpanCat::Kernel,
+            "k1",
+            2.0,
+            1.0,
+        ));
+        t.record(Span::new(Track::Host, SpanCat::Phase, "forward", 0.0, 5.0));
+        t.record(Span::new(
+            Track::DeviceStream(0),
+            SpanCat::Kernel,
+            "k0",
+            0.5,
+            1.0,
+        ));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].track, Track::Host);
+        assert_eq!(spans[1].name, "k0");
+        assert_eq!(spans[2].name, "k1");
+        assert_eq!(t.tracks(), vec![Track::Host, Track::DeviceStream(0)]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_with_hostile_names() {
+        let t = Tracer::new();
+        t.record(
+            Span::new(
+                Track::MpiRank(2),
+                SpanCat::Halo,
+                "halo\"up\\down",
+                1.0e-3,
+                2.0e-4,
+            )
+            .with_bytes(8192)
+            .with_arg("neighbor", "3"),
+        );
+        let doc = t.export_chrome("accprof");
+        let v = serde_json::from_str(&doc).expect("valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("halo\"up\\down"));
+        assert_eq!(e.get("tid").unwrap().as_str(), Some("rank 2"));
+        assert!((e.get("ts").unwrap().as_f64().unwrap() - 1000.0).abs() < 1e-9);
+        let args = e.get("args").unwrap();
+        assert_eq!(args.get("bytes").unwrap().as_u64(), Some(8192));
+        assert_eq!(args.get("neighbor").unwrap().as_str(), Some("3"));
+    }
+
+    #[test]
+    fn validate_accepts_nesting_rejects_partial_overlap() {
+        let t = Tracer::new();
+        t.record(Span::new(Track::Host, SpanCat::Phase, "forward", 0.0, 10.0));
+        t.record(Span::new(
+            Track::Host,
+            SpanCat::Directive,
+            "launch:a",
+            1.0,
+            2.0,
+        ));
+        t.record(Span::new(
+            Track::Host,
+            SpanCat::Checkpoint,
+            "ckpt",
+            4.0,
+            1.0,
+        ));
+        t.record(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "backward",
+            10.0,
+            5.0,
+        ));
+        t.record(Span::new(
+            Track::DeviceStream(0),
+            SpanCat::Kernel,
+            "k",
+            1.5,
+            1.0,
+        ));
+        assert!(t.validate_tracks().is_ok());
+        // Partial overlap on one track is rejected.
+        t.record(Span::new(Track::Host, SpanCat::Directive, "bad", 9.0, 3.0));
+        let err = t.validate_tracks().unwrap_err();
+        assert!(err.contains("bad"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = std::sync::Arc::new(Tracer::new());
+        std::thread::scope(|s| {
+            for r in 0..4u32 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        t.record(Span::new(
+                            Track::MpiRank(r),
+                            SpanCat::Halo,
+                            "h",
+                            i as f64,
+                            0.1,
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.tracks().len(), 4);
+    }
+}

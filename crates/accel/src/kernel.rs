@@ -57,6 +57,10 @@ pub struct KernelProfile {
     pub divergence: f64,
     /// Innermost loop mapped to vector lanes?
     pub vectorized: bool,
+    /// Fraction of `bytes_per_point` that is read traffic (the rest is
+    /// writes) — lets the counter model split DRAM throughput the way
+    /// `nvprof --metrics dram_read_throughput,dram_write_throughput` does.
+    pub read_fraction: f64,
 }
 
 impl KernelProfile {
@@ -73,6 +77,7 @@ impl KernelProfile {
             coalesced: true,
             divergence: 0.0,
             vectorized: true,
+            read_fraction: 0.75,
         }
     }
 }
@@ -92,13 +97,50 @@ pub struct KernelTiming {
     pub spilled: u32,
 }
 
-/// Evaluate the roofline model for one launch on `dev`.
-pub fn time_kernel(dev: &DeviceSpec, k: &KernelProfile) -> KernelTiming {
+/// Every intermediate term of the roofline evaluation for one launch.
+///
+/// [`time_kernel`] is a thin wrapper over this; the observability layer
+/// (`acc-obs`) derives its nvprof `--metrics`-style counters from the same
+/// struct, so the counters agree with the timing model *by construction*
+/// rather than by re-deriving the arithmetic in two places.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineTerms {
+    /// Occupancy from the register allocator.
+    pub occupancy: f64,
+    /// Spilled registers per thread.
+    pub spilled: u32,
+    /// Latency-hiding efficiency of the ALU pipeline at this occupancy.
+    pub eff_compute: f64,
+    /// Latency-hiding efficiency of the memory pipeline at this occupancy.
+    pub eff_memory: f64,
+    /// Extra DRAM bytes per point from register spills.
+    pub spill_bytes_per_point: f64,
+    /// Total DRAM bytes per point (profile bytes + spill traffic).
+    pub bytes_per_point: f64,
+    /// Sustained DRAM bandwidth after all penalties, byte/s.
+    pub effective_bw: f64,
+    /// Sustained arithmetic throughput after all penalties, flop/s.
+    pub effective_peak: f64,
+    /// Divergence issue-slot multiplier (`1 + divergence`).
+    pub div_penalty: f64,
+    /// Bandwidth-limited execution time, seconds.
+    pub t_mem: SimTime,
+    /// Compute-limited execution time, seconds.
+    pub t_cmp: SimTime,
+    /// Execution time `max(t_mem, t_cmp)`, seconds.
+    pub exec_s: SimTime,
+    /// Whether the bandwidth term dominated.
+    pub memory_bound: bool,
+}
+
+/// Evaluate every term of the roofline model for one launch on `dev`.
+pub fn roofline_terms(dev: &DeviceSpec, k: &KernelProfile) -> RooflineTerms {
     assert!(k.points > 0, "kernel must cover at least one point");
     let alloc = allocate(dev, k.regs_needed.max(1), k.maxregcount);
     let (eff_c, eff_m) = efficiency(alloc.occupancy);
 
-    let bytes = k.bytes_per_point + spill_bytes_per_point(alloc.spilled);
+    let spill_bytes = spill_bytes_per_point(alloc.spilled);
+    let bytes = k.bytes_per_point + spill_bytes;
     let mut bw = dev.bandwidth() * eff_m * DIRECTIVE_BW_EFFICIENCY;
     if !k.coalesced {
         bw /= UNCOALESCED_BW_DIVISOR;
@@ -121,13 +163,32 @@ pub fn time_kernel(dev: &DeviceSpec, k: &KernelProfile) -> KernelTiming {
     let n = k.points as f64;
     let t_mem = n * bytes / bw;
     let t_cmp = n * k.flops_per_point * div_penalty / peak;
-    let exec = t_mem.max(t_cmp);
-    KernelTiming {
-        total_s: exec + dev.launch_overhead_s,
-        exec_s: exec,
-        memory_bound: t_mem >= t_cmp,
+    RooflineTerms {
         occupancy: alloc.occupancy,
         spilled: alloc.spilled,
+        eff_compute: eff_c,
+        eff_memory: eff_m,
+        spill_bytes_per_point: spill_bytes,
+        bytes_per_point: bytes,
+        effective_bw: bw,
+        effective_peak: peak,
+        div_penalty,
+        t_mem,
+        t_cmp,
+        exec_s: t_mem.max(t_cmp),
+        memory_bound: t_mem >= t_cmp,
+    }
+}
+
+/// Evaluate the roofline model for one launch on `dev`.
+pub fn time_kernel(dev: &DeviceSpec, k: &KernelProfile) -> KernelTiming {
+    let t = roofline_terms(dev, k);
+    KernelTiming {
+        total_s: t.exec_s + dev.launch_overhead_s,
+        exec_s: t.exec_s,
+        memory_bound: t.memory_bound,
+        occupancy: t.occupancy,
+        spilled: t.spilled,
     }
 }
 
@@ -207,6 +268,34 @@ mod tests {
     fn zero_points_rejected() {
         let k = KernelProfile::new("z", 0, 1.0, 1.0, 1);
         time_kernel(&DeviceSpec::k40(), &k);
+    }
+
+    /// The exposed terms must be exactly what the timing wrapper consumed
+    /// — the contract the `acc-obs` counter model relies on.
+    #[test]
+    fn terms_and_timing_agree_exactly() {
+        for dev in [DeviceSpec::m2090(), DeviceSpec::k40()] {
+            for k in [
+                stencil(1 << 20),
+                KernelProfile {
+                    coalesced: false,
+                    vectorized: false,
+                    divergence: 0.3,
+                    maxregcount: Some(32),
+                    ..stencil(1 << 18)
+                },
+            ] {
+                let t = time_kernel(&dev, &k);
+                let r = roofline_terms(&dev, &k);
+                assert_eq!(t.exec_s, r.exec_s);
+                assert_eq!(t.occupancy, r.occupancy);
+                assert_eq!(t.spilled, r.spilled);
+                assert_eq!(t.memory_bound, r.memory_bound);
+                assert_eq!(r.exec_s, r.t_mem.max(r.t_cmp));
+                let n = k.points as f64;
+                assert!((r.t_mem - n * r.bytes_per_point / r.effective_bw).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

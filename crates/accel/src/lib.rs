@@ -40,11 +40,11 @@ pub mod stream;
 
 pub use device::DeviceSpec;
 pub use fault::{FaultKind, FaultPlan, FaultRates};
-pub use kernel::{KernelProfile, KernelTiming};
+pub use kernel::{KernelProfile, KernelTiming, RooflineTerms};
 pub use memory::{DeviceMemory, OutOfMemory};
 pub use pcie::{HostAlloc, TransferKind};
-pub use profiler::{EventKind, Profiler};
-pub use stream::StreamSim;
+pub use profiler::{Event, EventKind, Profiler};
+pub use stream::{DrainSchedule, IssueMode, ScheduledKernel, StreamSim};
 
 /// Simulated time in seconds.
 pub type SimTime = f64;

@@ -39,6 +39,33 @@ pub enum IssueMode {
     AsyncStreams,
 }
 
+/// One kernel placed on the drain timeline: where it starts (relative to
+/// the drain origin) and how long it runs. The layout is an *attribution*
+/// of the batch makespan to per-stream tracks — spans on one stream are
+/// serial and non-overlapping, and every span ends at or before the
+/// makespan — so traces built from it agree with the aggregate model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledKernel {
+    /// Kernel name (profiler correlation).
+    pub name: String,
+    /// Start offset from the drain origin, seconds.
+    pub start_s: SimTime,
+    /// Execution time, seconds.
+    pub exec_s: SimTime,
+    /// Stream the kernel ran on.
+    pub stream: u32,
+}
+
+/// Result of draining a batch: the makespan (identical to what
+/// [`StreamSim::drain_makespan`] returns) plus the per-kernel timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainSchedule {
+    /// Total wall time of the batch, seconds.
+    pub makespan_s: SimTime,
+    /// Per-kernel placements, in issue order.
+    pub kernels: Vec<ScheduledKernel>,
+}
+
 /// Simulated device work queue.
 #[derive(Debug, Default)]
 pub struct StreamSim {
@@ -75,6 +102,13 @@ impl StreamSim {
     /// Within one queue kernels execute in order with no overlap; the
     /// makespan is their summed execution plus launch overheads.
     pub fn drain_queue_makespan(&mut self, dev: &DeviceSpec, stream: u32) -> SimTime {
+        self.drain_queue_schedule(dev, stream).makespan_s
+    }
+
+    /// [`Self::drain_queue_makespan`] plus the per-kernel timeline: kernel
+    /// `i` starts after the single issue gap, `i+1` launch overheads, and
+    /// every earlier kernel on the queue.
+    pub fn drain_queue_schedule(&mut self, dev: &DeviceSpec, stream: u32) -> DrainSchedule {
         let mut kept = Vec::with_capacity(self.queue.len());
         let mut drained = Vec::new();
         for k in std::mem::take(&mut self.queue) {
@@ -86,13 +120,27 @@ impl StreamSim {
         }
         self.queue = kept;
         if drained.is_empty() {
-            return 0.0;
+            return DrainSchedule {
+                makespan_s: 0.0,
+                kernels: Vec::new(),
+            };
         }
-        dev.issue_gap_s
-            + drained
-                .iter()
-                .map(|k| dev.launch_overhead_s + k.exec_s)
-                .sum::<f64>()
+        let mut cursor = dev.issue_gap_s;
+        let mut kernels = Vec::with_capacity(drained.len());
+        for k in drained {
+            let start = cursor + dev.launch_overhead_s;
+            cursor = start + k.exec_s;
+            kernels.push(ScheduledKernel {
+                name: k.name,
+                start_s: start,
+                exec_s: k.exec_s,
+                stream: k.stream,
+            });
+        }
+        DrainSchedule {
+            makespan_s: cursor,
+            kernels,
+        }
     }
 
     /// Fault-aware variant of [`Self::drain_makespan`]: a straggler window
@@ -117,15 +165,45 @@ impl StreamSim {
     /// Compute the makespan of the queued batch under the given issue mode,
     /// then clear the queue.
     pub fn drain_makespan(&mut self, dev: &DeviceSpec, mode: IssueMode) -> SimTime {
+        self.drain_schedule(dev, mode).makespan_s
+    }
+
+    /// [`Self::drain_makespan`] plus the per-kernel timeline. The makespan
+    /// is byte-identical to the aggregate formula; the spans attribute it:
+    ///
+    /// * `Synchronous` — strictly serial: each kernel starts one issue gap
+    ///   plus one launch overhead after its predecessor finished.
+    /// * `AsyncStreams` — kernel `i` becomes *launchable* once the host has
+    ///   issued it (`issue_gap + (i+1)·launch_overhead`) and starts at the
+    ///   later of that and its stream's cursor, so spans on one stream
+    ///   never overlap while different streams run concurrently.
+    pub fn drain_schedule(&mut self, dev: &DeviceSpec, mode: IssueMode) -> DrainSchedule {
         let kernels = std::mem::take(&mut self.queue);
         if kernels.is_empty() {
-            return 0.0;
+            return DrainSchedule {
+                makespan_s: 0.0,
+                kernels: Vec::new(),
+            };
         }
         match mode {
-            IssueMode::Synchronous => kernels
-                .iter()
-                .map(|k| dev.issue_gap_s + dev.launch_overhead_s + k.exec_s)
-                .sum(),
+            IssueMode::Synchronous => {
+                let mut cursor = 0.0;
+                let mut spans = Vec::with_capacity(kernels.len());
+                for k in kernels {
+                    let start = cursor + dev.issue_gap_s + dev.launch_overhead_s;
+                    cursor = start + k.exec_s;
+                    spans.push(ScheduledKernel {
+                        name: k.name,
+                        start_s: start,
+                        exec_s: k.exec_s,
+                        stream: k.stream,
+                    });
+                }
+                DrainSchedule {
+                    makespan_s: cursor,
+                    kernels: spans,
+                }
+            }
             IssueMode::AsyncStreams => {
                 let n_streams = kernels
                     .iter()
@@ -142,7 +220,29 @@ impl StreamSim {
                 let sm_seconds: f64 = kernels.iter().map(|k| k.exec_s * k.sm_fraction).sum();
                 let longest = kernels.iter().map(|k| k.exec_s).fold(0.0f64, f64::max);
                 let _ = n_streams;
-                setup + sm_seconds.max(longest)
+                let makespan = setup + sm_seconds.max(longest);
+                // Timeline attribution: kernel i is launchable once the
+                // host has pushed it into its queue; within a stream work
+                // stays serial.
+                let mut cursors: std::collections::HashMap<u32, SimTime> =
+                    std::collections::HashMap::new();
+                let mut spans = Vec::with_capacity(kernels.len());
+                for (i, k) in kernels.into_iter().enumerate() {
+                    let issued = dev.issue_gap_s + (i as f64 + 1.0) * dev.launch_overhead_s;
+                    let cursor = cursors.entry(k.stream).or_insert(0.0);
+                    let start = cursor.max(issued);
+                    *cursor = start + k.exec_s;
+                    spans.push(ScheduledKernel {
+                        name: k.name,
+                        start_s: start,
+                        exec_s: k.exec_s,
+                        stream: k.stream,
+                    });
+                }
+                DrainSchedule {
+                    makespan_s: makespan,
+                    kernels: spans,
+                }
             }
         }
     }
@@ -250,6 +350,56 @@ mod tests {
         a.push(k("small", 0.1, 0.1, 1));
         let asy = a.drain_makespan(&dev, IssueMode::AsyncStreams);
         assert!(asy >= 5.0e-3);
+    }
+
+    /// The schedule's makespan is the aggregate formula, and its spans are
+    /// serial/non-overlapping per stream with every span inside the batch.
+    #[test]
+    fn schedule_matches_makespan_and_is_per_stream_serial() {
+        let dev = DeviceSpec::k40();
+        for mode in [IssueMode::Synchronous, IssueMode::AsyncStreams] {
+            let mut a = StreamSim::new();
+            let mut b = StreamSim::new();
+            for i in 0..6 {
+                let kk = k(&format!("k{i}"), 0.03 + 0.01 * i as f64, 0.4, i % 3);
+                a.push(kk.clone());
+                b.push(kk);
+            }
+            let plain = a.drain_makespan(&dev, mode);
+            let sched = b.drain_schedule(&dev, mode);
+            assert_eq!(sched.makespan_s, plain, "{mode:?}");
+            assert_eq!(sched.kernels.len(), 6);
+            let mut last_end: std::collections::HashMap<u32, f64> = Default::default();
+            for s in &sched.kernels {
+                let prev = last_end.entry(s.stream).or_insert(0.0);
+                assert!(
+                    s.start_s >= *prev,
+                    "{mode:?}: overlap on stream {}",
+                    s.stream
+                );
+                *prev = s.start_s + s.exec_s;
+                assert!(s.start_s + s.exec_s <= sched.makespan_s + 1e-12);
+            }
+        }
+    }
+
+    /// Single-queue drain: serial layout whose last span ends exactly at
+    /// the makespan, untouched streams stay queued.
+    #[test]
+    fn queue_schedule_layout() {
+        let dev = DeviceSpec::k40();
+        let mut q = StreamSim::new();
+        q.push(k("a0", 0.1, 1.0, 0));
+        q.push(k("b0", 0.2, 1.0, 1));
+        q.push(k("a1", 0.1, 1.0, 0));
+        let sched = q.drain_queue_schedule(&dev, 0);
+        assert_eq!(sched.kernels.len(), 2);
+        assert_eq!(q.len(), 1);
+        let first = &sched.kernels[0];
+        assert!((first.start_s - (dev.issue_gap_s + dev.launch_overhead_s)).abs() < 1e-15);
+        let last = &sched.kernels[1];
+        assert!((last.start_s + last.exec_s - sched.makespan_s).abs() < 1e-15);
+        assert!(last.start_s >= first.start_s + first.exec_s);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum RtmError {
     /// Every rank in the cluster has been blacklisted; the survey cannot
     /// make progress.
     NoHealthyRanks,
+    /// An emitted observability artifact failed its self-validation
+    /// (malformed trace JSON, overlapping timeline spans).
+    Observability(String),
 }
 
 impl fmt::Display for RtmError {
@@ -66,6 +69,7 @@ impl fmt::Display for RtmError {
                 write!(f, "no replayed snapshot for step {step}")
             }
             RtmError::NoHealthyRanks => write!(f, "all ranks blacklisted"),
+            RtmError::Observability(msg) => write!(f, "observability artifact invalid: {msg}"),
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::case::{Cluster, ImagePlacement, OptimizationConfig, SeismicCase, Workload};
 use crate::plan;
+use acc_obs::{ObsSession, Span, SpanCat, Track};
 use accel_sim::pcie::TransferKind;
 use accel_sim::SimTime;
 use openacc_sim::data::DataError;
@@ -16,6 +17,7 @@ use openacc_sim::{AccRuntime, Compiler};
 use seismic_grid::STENCIL_HALF;
 use seismic_model::footprint::{self, Dims, Formulation};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Simulated time split of one run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,7 +78,25 @@ pub fn modeling_time(
     cluster: Cluster,
     w: &Workload,
 ) -> Result<GpuRun, DataError> {
+    modeling_time_obs(case, config, compiler, cluster, w, None)
+}
+
+/// [`modeling_time`] with an optional observability session: the runtime
+/// records directive/kernel/transfer spans, and the driver adds the
+/// forward-phase span plus per-snapshot checkpoint spans. Observability
+/// never changes the modeled timings.
+pub fn modeling_time_obs(
+    case: &SeismicCase,
+    config: &OptimizationConfig,
+    compiler: Compiler,
+    cluster: Cluster,
+    w: &Workload,
+    obs: Option<Arc<ObsSession>>,
+) -> Result<GpuRun, DataError> {
     let mut rt = AccRuntime::new(cluster.device(), compiler);
+    if let Some(o) = &obs {
+        rt.attach_obs(o.clone());
+    }
     rt.default_maxregcount = config.maxregcount;
     let alloc = w.alloc_points(STENCIL_HALF) as usize;
     let bytes = footprint::modeling_bytes(case.formulation, case.dims, alloc);
@@ -85,21 +105,58 @@ pub fn modeling_time(
     let phases = plan::step_phases(case, config, w, compiler);
     let src = plan::source_injection(case, compiler, config);
     let wf_bytes = wavefield_bytes(case, w);
+    let t0 = rt.elapsed();
     for step in 0..w.steps {
         run_phases(&mut rt, &phases);
         rt.launch(&src.desc, &src.nest, src.kind, &src.clauses);
         if step % w.snap_period == 0 {
             // "A branch condition was needed to ensure that the host
             // snapshot data will not be updated at each time step."
+            let c0 = rt.elapsed();
             rt.update_host("fields", Some(wf_bytes), TransferKind::Contiguous)
                 .expect("fields present");
+            checkpoint_span(&obs, "snapshot_write", c0, rt.elapsed(), wf_bytes, true);
         }
+    }
+    if let Some(o) = &obs {
+        o.span(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "forward",
+            t0,
+            rt.elapsed() - t0,
+        ));
     }
     rt.exit_data_delete("fields").expect("fields present");
     Ok(GpuRun {
         breakdown: breakdown(&rt),
         runtime: rt,
     })
+}
+
+/// Emit one checkpoint write/restore span plus its registry series.
+fn checkpoint_span(
+    obs: &Option<Arc<ObsSession>>,
+    name: &str,
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
+    write: bool,
+) {
+    if let Some(o) = obs {
+        o.span(
+            Span::new(Track::Host, SpanCat::Checkpoint, name, start, end - start).with_bytes(bytes),
+        );
+        o.registry.inc(
+            if write {
+                "checkpoints_written"
+            } else {
+                "checkpoints_restored"
+            },
+            1,
+        );
+        o.registry.inc("checkpoint_bytes", bytes);
+    }
 }
 
 /// Price a full RTM run (forward + backward + imaging) on `cluster`'s GPU.
@@ -110,7 +167,26 @@ pub fn rtm_time(
     cluster: Cluster,
     w: &Workload,
 ) -> Result<GpuRun, DataError> {
+    rtm_time_obs(case, config, compiler, cluster, w, None)
+}
+
+/// [`rtm_time`] with an optional observability session: adds per-shot
+/// forward/backward phase spans, per-snapshot checkpoint write/restore
+/// spans (the `update host`/`update device` dance around the forward
+/// wavefield), and imaging spans, on top of the runtime's own
+/// directive/kernel/transfer instrumentation.
+pub fn rtm_time_obs(
+    case: &SeismicCase,
+    config: &OptimizationConfig,
+    compiler: Compiler,
+    cluster: Cluster,
+    w: &Workload,
+    obs: Option<Arc<ObsSession>>,
+) -> Result<GpuRun, DataError> {
     let mut rt = AccRuntime::new(cluster.device(), compiler);
+    if let Some(o) = &obs {
+        rt.attach_obs(o.clone());
+    }
     rt.default_maxregcount = config.maxregcount;
     let alloc = w.alloc_points(STENCIL_HALF) as usize;
     let fwd_bytes = footprint::modeling_bytes(case.formulation, case.dims, alloc);
@@ -125,12 +201,15 @@ pub fn rtm_time(
     // Step 2: forward phase with snapshot saves.
     let phases = plan::step_phases(case, config, w, compiler);
     let src = plan::source_injection(case, compiler, config);
+    let fwd_t0 = rt.elapsed();
     for step in 0..w.steps {
         run_phases(&mut rt, &phases);
         rt.launch(&src.desc, &src.nest, src.kind, &src.clauses);
         if step % w.snap_period == 0 {
+            let c0 = rt.elapsed();
             rt.update_host("forward", Some(wf_bytes), TransferKind::Contiguous)
                 .expect("forward present");
+            checkpoint_span(&obs, "checkpoint_write", c0, rt.elapsed(), wf_bytes, true);
         }
         if iso_consistency {
             rt.update_host("forward", Some(wf_bytes / 8), TransferKind::Contiguous)
@@ -138,6 +217,16 @@ pub fn rtm_time(
             rt.update_device("forward", Some(wf_bytes / 8), TransferKind::Contiguous)
                 .expect("forward present");
         }
+    }
+
+    if let Some(o) = &obs {
+        o.span(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "forward",
+            fwd_t0,
+            rt.elapsed() - fwd_t0,
+        ));
     }
 
     // Step 3: offload forward scratch (keep the forward wavefield), upload
@@ -153,15 +242,26 @@ pub fn rtm_time(
     // Step 4: backward phase with receiver injection + imaging condition.
     let rcv = plan::receiver_injection(case, compiler, config, w.n_receivers);
     let img = plan::imaging_kernel(case, compiler, config, w);
+    let bwd_t0 = rt.elapsed();
     for step in 0..w.steps {
         if step % w.snap_period == 0 {
             // Load the saved forward snapshot...
+            let c0 = rt.elapsed();
             rt.update_device(
                 "forward_wavefield",
                 Some(wf_bytes),
                 TransferKind::Contiguous,
             )
             .expect("forward wavefield present");
+            checkpoint_span(
+                &obs,
+                "checkpoint_restore",
+                c0,
+                rt.elapsed(),
+                wf_bytes,
+                false,
+            );
+            let i0 = rt.elapsed();
             match config.image_placement {
                 ImagePlacement::Gpu => {
                     rt.launch(&img.desc, &img.nest, img.kind, &img.clauses);
@@ -175,6 +275,15 @@ pub fn rtm_time(
                     rt.advance_host(cpu.kernel_time(w.points(), 2.0, 16.0));
                 }
             }
+            if let Some(o) = &obs {
+                o.span(Span::new(
+                    Track::Host,
+                    SpanCat::Phase,
+                    "imaging",
+                    i0,
+                    rt.elapsed() - i0,
+                ));
+            }
         }
         run_phases(&mut rt, &phases);
         for r in &rcv {
@@ -186,6 +295,16 @@ pub fn rtm_time(
             rt.update_device("backward", Some(wf_bytes / 8), TransferKind::Contiguous)
                 .expect("backward present");
         }
+    }
+
+    if let Some(o) = &obs {
+        o.span(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "backward",
+            bwd_t0,
+            rt.elapsed() - bwd_t0,
+        ));
     }
 
     // Step 5: store the image and free the device.

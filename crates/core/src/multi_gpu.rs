@@ -77,15 +77,10 @@ impl MultiGpuTiming {
     }
 }
 
-/// Raw one-directional ghost traffic time for one neighbour exchange:
-/// device→host, network, host→device.
-fn ghost_leg_time(
-    cluster: Cluster,
-    w: &Workload,
-    case: &SeismicCase,
-    packing: GhostPacking,
-) -> SimTime {
-    let dev = cluster.device();
+/// Bytes one neighbour exchange moves: the stencil-halo shell of every
+/// crossing wavefield. Public so the observability layer can annotate halo
+/// spans with the same traffic the timing model priced.
+pub fn ghost_bytes(case: &SeismicCase, w: &Workload) -> u64 {
     let plane_points = match case.dims {
         Dims::Two => w.nx as u64 + 2 * STENCIL_HALF as u64,
         Dims::Three => {
@@ -96,7 +91,22 @@ fn ghost_leg_time(
     // Only wavefields cross (model arrays are static); approximate as half
     // the resident arrays.
     let fields = (fields / 2).max(1);
-    let bytes = STENCIL_HALF as u64 * plane_points * 4 * fields;
+    STENCIL_HALF as u64 * plane_points * 4 * fields
+}
+
+/// Raw one-directional ghost traffic time for one neighbour exchange:
+/// device→host, network, host→device. Public for the same reason as
+/// [`ghost_bytes`] — `accprof` builds its MPI-rank halo timeline from it.
+pub fn ghost_leg_time(
+    cluster: Cluster,
+    w: &Workload,
+    case: &SeismicCase,
+    packing: GhostPacking,
+) -> SimTime {
+    let dev = cluster.device();
+    let fields = footprint::modeling_array_count(case.formulation, case.dims) as u64;
+    let fields = (fields / 2).max(1);
+    let bytes = ghost_bytes(case, w);
     // Rows (contiguous x-runs) per shell for the worst-axis cut.
     let rows = match case.dims {
         Dims::Two => w.nz as u64 + 2 * STENCIL_HALF as u64,
@@ -121,6 +131,60 @@ fn ghost_leg_time(
     let net = cluster.interconnect().msg_time(bytes);
     // D2H + network + H2D on the receiving side.
     2.0 * pcie + net + pack
+}
+
+/// Replay a priced decomposed run onto `obs`'s MPI-rank tracks: one
+/// [`SpanCat::Halo`](acc_obs::SpanCat) span per step per rank, spanning the
+/// step's raw exchange window. Under [`CommMode::Overlapped`] the hidden
+/// head of the span sits inside the interior-compute window and only the
+/// exposed tail extends the step — the span's `hidden_s`/`exposed_s` args
+/// record that split, and its bytes are the same [`ghost_bytes`] traffic
+/// the timing model priced. The registry accumulates `halo_bytes` and
+/// `halo_exchanges`.
+pub fn emit_halo_timeline(
+    obs: &acc_obs::ObsSession,
+    case: &SeismicCase,
+    w: &Workload,
+    timing: &MultiGpuTiming,
+) {
+    use acc_obs::{Span, SpanCat, Track};
+    if timing.n_gpus < 2 || timing.step_comm_raw_s <= 0.0 {
+        return; // single card: nothing crosses the network
+    }
+    let bytes = ghost_bytes(case, w);
+    let raw = timing.step_comm_raw_s;
+    let exposed = timing.step_comm_exposed_s;
+    let hidden = (raw - exposed).max(0.0);
+    let step_s = timing.step_compute_s + exposed;
+    for rank in 0..timing.n_gpus as u32 {
+        let lo = rank.checked_sub(1);
+        let hi = (rank + 1 < timing.n_gpus as u32).then_some(rank + 1);
+        for step in 0..w.steps {
+            // The exchange starts once the boundary shell is computed: its
+            // hidden head overlaps the interior kernel, the exposed tail
+            // sticks out past the compute window.
+            let start = step as f64 * step_s + timing.step_compute_s - hidden;
+            let mut span = Span::new(
+                Track::MpiRank(rank),
+                SpanCat::Halo,
+                "halo_exchange",
+                start,
+                raw,
+            )
+            .with_bytes(bytes)
+            .with_arg("hidden_s", format!("{hidden:.3e}"))
+            .with_arg("exposed_s", format!("{exposed:.3e}"));
+            if let Some(l) = lo {
+                span = span.with_arg("neighbor_lo", l.to_string());
+            }
+            if let Some(h) = hi {
+                span = span.with_arg("neighbor_hi", h.to_string());
+            }
+            obs.span(span);
+            obs.registry.inc("halo_exchanges", 1);
+            obs.registry.inc("halo_bytes", bytes);
+        }
+    }
 }
 
 /// Price a decomposed forward-modeling run on `n_gpus` identical cards.
@@ -354,6 +418,50 @@ mod tests {
             CommMode::Blocking,
         );
         assert!(four.is_ok(), "4 Fermis hold the decomposed slabs");
+    }
+
+    /// The halo timeline replays exactly what the pricing model charged:
+    /// one serial span per step per rank, raw-duration long, carrying the
+    /// [`ghost_bytes`] payload, and the registry totals line up.
+    #[test]
+    fn halo_timeline_matches_pricing() {
+        let case = case3();
+        let w = w3(128);
+        let t = run(4, 128, CommMode::Blocking);
+        let obs = acc_obs::ObsSession::new();
+        emit_halo_timeline(&obs, &case, &w, &t);
+        obs.tracer.validate_tracks().expect("serial rank tracks");
+        assert_eq!(obs.tracer.tracks().len(), 4, "one track per rank");
+        let spans = obs.tracer.spans();
+        assert_eq!(spans.len(), 4 * w.steps);
+        let b = ghost_bytes(&case, &w);
+        for s in &spans {
+            assert_eq!(s.bytes, b);
+            assert!((s.dur_s - t.step_comm_raw_s).abs() < 1e-12);
+        }
+        // Edge ranks name one neighbour, interior ranks two.
+        let args_of = |rank: u32| {
+            spans
+                .iter()
+                .find(|s| s.track == acc_obs::Track::MpiRank(rank))
+                .unwrap()
+                .args
+                .clone()
+        };
+        assert!(args_of(0).iter().any(|(k, _)| k == "neighbor_hi"));
+        assert!(!args_of(0).iter().any(|(k, _)| k == "neighbor_lo"));
+        assert!(args_of(1).iter().any(|(k, _)| k == "neighbor_lo"));
+        assert!(args_of(1).iter().any(|(k, _)| k == "neighbor_hi"));
+        assert_eq!(
+            obs.registry.counter("halo_bytes"),
+            b * 4 * w.steps as u64,
+            "registry totals the priced traffic"
+        );
+        assert_eq!(obs.registry.counter("halo_exchanges"), 4 * w.steps as u64);
+        // One GPU → no exchange spans at all.
+        let single = acc_obs::ObsSession::new();
+        emit_halo_timeline(&single, &case, &w, &run(1, 128, CommMode::Blocking));
+        assert!(single.tracer.is_empty());
     }
 
     #[test]

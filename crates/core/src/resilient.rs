@@ -34,6 +34,7 @@ use crate::modeling::{Medium2, State2};
 use crate::multi_gpu::{modeling_time_multi, CommMode, GhostPacking, MultiGpuTiming};
 use crate::rtm::{migrate_shot, mute_direct, run_rtm, RtmResult};
 use crate::shot_parallel::{shots_for_rank, Shot};
+use acc_obs::{ObsSession, Span, SpanCat, Track};
 use accel_sim::fault::FaultPlan;
 use bytes::Bytes;
 use mpi_sim::comm::Communicator;
@@ -209,6 +210,46 @@ pub fn plan_survey(
     plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<SurveySchedule, RtmError> {
+    plan_survey_obs(n_shots, ranks, shot_cost_s, plan, policy, None)
+}
+
+/// Emit one resilience-timeline span on a rank track, when observing.
+fn resilience_span(
+    obs: Option<&ObsSession>,
+    rank: usize,
+    name: &str,
+    start_s: f64,
+    dur_s: f64,
+    shot: Option<usize>,
+) {
+    if let Some(o) = obs {
+        let mut s = Span::new(
+            Track::MpiRank(rank as u32),
+            SpanCat::Resilience,
+            name,
+            start_s,
+            dur_s,
+        );
+        if let Some(sh) = shot {
+            s = s.with_arg("shot", sh.to_string());
+        }
+        o.span(s);
+    }
+}
+
+/// [`plan_survey`] with an optional observability session: every shot
+/// attempt, backoff sleep, mid-shot loss, and blacklisting lands as a
+/// span on that rank's timeline track (per-rank clocks are monotone, so
+/// each track stays serial), and the registry accumulates `shot_retries`
+/// and `ranks_blacklisted`. Observation never changes the schedule.
+pub fn plan_survey_obs(
+    n_shots: usize,
+    ranks: usize,
+    shot_cost_s: f64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    obs: Option<&ObsSession>,
+) -> Result<SurveySchedule, RtmError> {
     if n_shots == 0 {
         return Err(ConfigError::NoShots.into());
     }
@@ -261,6 +302,10 @@ pub fn plan_survey(
             let t0 = clock[r];
             if plan.device_lost(r, t0) {
                 // Device already gone when the attempt starts.
+                resilience_span(obs, r, "blacklist:device_lost", t0, 0.0, Some(s));
+                if let Some(o) = obs {
+                    o.registry.inc("ranks_blacklisted", 1);
+                }
                 health.blacklist(r);
                 stats.dead_ranks.push(r);
                 let mut work: Vec<usize> = queues[r].drain(..).collect();
@@ -273,8 +318,15 @@ pub fn plan_survey(
             attempt_seq[r] += 1;
             if plan.alloc_fails(r, seq) {
                 stats.retries += 1;
+                if let Some(o) = obs {
+                    o.registry.inc("shot_retries", 1);
+                }
                 if retries_this_shot >= policy.max_retries {
                     // Rank keeps failing: give up on it entirely.
+                    resilience_span(obs, r, "blacklist:retries_exhausted", t0, 0.0, Some(s));
+                    if let Some(o) = obs {
+                        o.registry.inc("ranks_blacklisted", 1);
+                    }
                     health.blacklist(r);
                     stats.dead_ranks.push(r);
                     let mut work: Vec<usize> = queues[r].drain(..).collect();
@@ -283,6 +335,7 @@ pub fn plan_survey(
                     break;
                 }
                 let delay = policy.backoff_delay(plan.seed() ^ r as u64, retries_this_shot);
+                resilience_span(obs, r, "backoff", t0, delay, Some(s));
                 clock[r] += delay;
                 stats.backoff_s += delay;
                 retries_this_shot += 1;
@@ -292,6 +345,11 @@ pub fn plan_survey(
             if let Some(lost) = plan.device_lost_at(r) {
                 if lost < t0 + dur {
                     // Dies mid-shot: the partial work is lost.
+                    resilience_span(obs, r, "shot:lost", t0, lost - t0, Some(s));
+                    resilience_span(obs, r, "blacklist:device_lost", lost, 0.0, Some(s));
+                    if let Some(o) = obs {
+                        o.registry.inc("ranks_blacklisted", 1);
+                    }
                     stats.wasted_s += lost - t0;
                     health.blacklist(r);
                     stats.dead_ranks.push(r);
@@ -301,6 +359,7 @@ pub fn plan_survey(
                     break;
                 }
             }
+            resilience_span(obs, r, "shot", t0, dur, Some(s));
             clock[r] = t0 + dur;
             stats.useful_s += dur;
             health.record_success(r);
@@ -801,6 +860,46 @@ mod tests {
         assert!(!a.stats.dead_ranks.is_empty());
         assert!(a.stats.rescheduled_shots > 0);
         assert!(a.stats.useful_s > 0.0);
+    }
+
+    /// Observing the survey planner changes nothing about the schedule,
+    /// yields a valid per-rank timeline, and its registry counters agree
+    /// with the returned stats.
+    #[test]
+    fn observed_survey_matches_plain_and_validates() {
+        let rates = FaultRates {
+            device_lost_mtti_s: 40.0,
+            transient_oom_prob: 0.05,
+            ..FaultRates::none()
+        };
+        let (_, plan) = seed_with_partial_loss(3, 100.0, rates);
+        let policy = RetryPolicy::default();
+        let plain = plan_survey(11, 3, 7.0, &plan, &policy).unwrap();
+        let obs = ObsSession::new();
+        let traced = plan_survey_obs(11, 3, 7.0, &plan, &policy, Some(&obs)).unwrap();
+        assert_eq!(plain, traced, "observation must not perturb the schedule");
+        obs.tracer.validate_tracks().expect("serial rank tracks");
+        // One track per rank that did anything; spans carry shot ids.
+        assert!(!obs.tracer.tracks().is_empty());
+        assert!(obs
+            .tracer
+            .spans()
+            .iter()
+            .all(|s| matches!(s.track, Track::MpiRank(_))));
+        assert_eq!(obs.registry.counter("shot_retries"), traced.stats.retries);
+        assert_eq!(
+            obs.registry.counter("ranks_blacklisted"),
+            traced.stats.dead_ranks.len() as u64
+        );
+        // Useful seconds equal the summed successful-shot span durations.
+        let useful: f64 = obs
+            .tracer
+            .spans()
+            .iter()
+            .filter(|s| s.name == "shot")
+            .map(|s| s.dur_s)
+            .sum();
+        assert!((useful - traced.stats.useful_s).abs() < 1e-9);
     }
 
     #[test]

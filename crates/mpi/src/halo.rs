@@ -7,8 +7,29 @@
 
 use crate::comm::{RankCtx, Request};
 use crate::decomp::Slab;
+use crate::obs::{HaloDir, HaloEvent, HaloLog};
 use bytes::{BufMut, Bytes, BytesMut};
 use seismic_grid::{Field2, Field3};
+
+/// Log both directions of one neighbour exchange, when a log is attached.
+fn log_exchange(log: Option<&HaloLog>, rank: usize, neighbor: usize, bytes: u64, tag: u64) {
+    if let Some(l) = log {
+        l.record(HaloEvent {
+            rank,
+            neighbor,
+            bytes,
+            tag,
+            dir: HaloDir::Send,
+        });
+        l.record(HaloEvent {
+            rank,
+            neighbor,
+            bytes,
+            tag,
+            dir: HaloDir::Recv,
+        });
+    }
+}
 
 /// Pack `count` raw rows starting at raw row `rz0` into a byte buffer.
 fn pack_rows2(f: &Field2, rz0: usize, count: usize) -> Bytes {
@@ -66,6 +87,18 @@ fn unpack_planes3(f: &mut Field3, rz0: usize, count: usize, data: &Bytes) {
 /// decomposition ghost width. `tag_base` namespaces concurrent exchanges of
 /// different fields (each exchange uses `tag_base` and `tag_base + 1`).
 pub fn exchange_halo2(ctx: &mut RankCtx, field: &mut Field2, slab: &Slab, tag_base: u64) {
+    exchange_halo2_logged(ctx, field, slab, tag_base, None)
+}
+
+/// [`exchange_halo2`] that additionally records each transfer (bytes,
+/// neighbour, tag, direction) into `log` for the observability layer.
+pub fn exchange_halo2_logged(
+    ctx: &mut RankCtx,
+    field: &mut Field2,
+    slab: &Slab,
+    tag_base: u64,
+    log: Option<&HaloLog>,
+) {
     let e = field.extent();
     let g = e.halo;
     assert_eq!(e.nz, slab.nz(), "field depth must match the slab");
@@ -87,10 +120,12 @@ pub fn exchange_halo2(ctx: &mut RankCtx, field: &mut Field2, slab: &Slab, tag_ba
         // My lowest owned rows become lo's high halo; lo receives them with
         // tag_base + 1 (message travelling downward).
         let payload = pack_rows2(field, g, g);
+        log_exchange(log, ctx.rank(), lo, payload.len() as u64, tag_base + 1);
         reqs.push(ctx.isend(lo, tag_base + 1, payload));
     }
     if let Some(hi) = slab.hi_neighbor {
         let payload = pack_rows2(field, e.nz, g); // raw rows g+nz-g .. = interior top
+        log_exchange(log, ctx.rank(), hi, payload.len() as u64, tag_base);
         reqs.push(ctx.isend(hi, tag_base, payload));
     }
     ctx.wait_all(&mut reqs);
@@ -105,6 +140,17 @@ pub fn exchange_halo2(ctx: &mut RankCtx, field: &mut Field2, slab: &Slab, tag_ba
 
 /// Exchange z-halos of a 3D field with both neighbours.
 pub fn exchange_halo3(ctx: &mut RankCtx, field: &mut Field3, slab: &Slab, tag_base: u64) {
+    exchange_halo3_logged(ctx, field, slab, tag_base, None)
+}
+
+/// [`exchange_halo3`] that additionally records each transfer into `log`.
+pub fn exchange_halo3_logged(
+    ctx: &mut RankCtx,
+    field: &mut Field3,
+    slab: &Slab,
+    tag_base: u64,
+    log: Option<&HaloLog>,
+) {
     let e = field.extent();
     let g = e.halo;
     assert_eq!(e.nz, slab.nz(), "field depth must match the slab");
@@ -123,10 +169,12 @@ pub fn exchange_halo3(ctx: &mut RankCtx, field: &mut Field3, slab: &Slab, tag_ba
     }
     if let Some(lo) = slab.lo_neighbor {
         let payload = pack_planes3(field, g, g);
+        log_exchange(log, ctx.rank(), lo, payload.len() as u64, tag_base + 1);
         reqs.push(ctx.isend(lo, tag_base + 1, payload));
     }
     if let Some(hi) = slab.hi_neighbor {
         let payload = pack_planes3(field, e.nz, g);
+        log_exchange(log, ctx.rank(), hi, payload.len() as u64, tag_base);
         reqs.push(ctx.isend(hi, tag_base, payload));
     }
     ctx.wait_all(&mut reqs);
@@ -241,6 +289,39 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// The logged traffic matches the exchanged shell exactly: every rank
+    /// sends `ghost · full_nx · 4` bytes per neighbour, and the aggregate
+    /// equals the slab-boundary count times the plane size.
+    #[test]
+    fn halo_log_accounts_exchanged_bytes() {
+        let nx = 8;
+        let nz_global = 23;
+        let ghost = 4;
+        let ranks = 3;
+        let d = SlabDecomp::new(nz_global, ranks, ghost);
+        let log = std::sync::Arc::new(HaloLog::new());
+        Communicator::run(ranks, {
+            let log = log.clone();
+            move |ctx| {
+                let slab = d.slab(ctx.rank());
+                let e = Extent2::new(nx, slab.nz(), ghost);
+                let mut f = Field2::filled(e, 1.0);
+                exchange_halo2_logged(ctx, &mut f, &slab, 10, Some(&log));
+            }
+        });
+        let plane_bytes = (nx + 2 * ghost) as u64 * ghost as u64 * 4;
+        // Interior rank sends to both neighbours; edge ranks to one each.
+        assert_eq!(log.sent_bytes(0), plane_bytes);
+        assert_eq!(log.sent_bytes(1), 2 * plane_bytes);
+        assert_eq!(log.sent_bytes(2), plane_bytes);
+        assert_eq!(log.total_sent_bytes(), 4 * plane_bytes);
+        // Every send has a matching receive record on the same rank.
+        let evs = log.events();
+        let sends = evs.iter().filter(|e| e.dir == HaloDir::Send).count();
+        let recvs = evs.iter().filter(|e| e.dir == HaloDir::Recv).count();
+        assert_eq!(sends, recvs);
     }
 
     #[test]

@@ -22,13 +22,17 @@
 //!   IBM cluster network, whose difference the paper blames for the CRAY
 //!   speedups being lower), plus a seeded message-drop/timeout model
 //!   ([`net::NetFaultPlan`]) whose retransmit cost the communicator
-//!   accounts without ever losing a payload.
+//!   accounts without ever losing a payload,
+//! * [`obs`] — a thread-safe halo-exchange event log (bytes, neighbour,
+//!   tag, direction) the tracing layer turns into MPI-rank timeline spans.
 
 pub mod comm;
 pub mod decomp;
 pub mod halo;
 pub mod net;
+pub mod obs;
 
 pub use comm::{Communicator, RankCtx, Request};
 pub use decomp::SlabDecomp;
 pub use net::{CpuSpec, Interconnect, NetFaultPlan};
+pub use obs::{HaloDir, HaloEvent, HaloLog};

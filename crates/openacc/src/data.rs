@@ -95,16 +95,26 @@ impl DataEnv {
         }
     }
 
-    /// `!$acc enter data copyin(name)` — allocate and upload.
+    /// `!$acc enter data copyin(name)` — allocate and upload. `now` is the
+    /// simulated timestamp the transfer starts at (the runtime clock),
+    /// recorded with the event so traces carry true start times.
     pub fn enter_data_copyin(
         &mut self,
         name: &str,
         bytes: u64,
+        now: SimTime,
         prof: &Profiler,
     ) -> Result<SimTime, DataError> {
         let t = self.map(name, bytes)?;
         let dt = transfer_time(&self.dev, bytes, self.host_alloc, TransferKind::Contiguous);
-        prof.record(EventKind::MemcpyH2D, format!("copyin:{name}"), dt, 0);
+        prof.record_bytes(
+            EventKind::MemcpyH2D,
+            format!("copyin:{name}"),
+            now,
+            dt,
+            0,
+            bytes,
+        );
         self.transfer_s += dt;
         Ok(t + dt)
     }
@@ -152,12 +162,14 @@ impl DataEnv {
         }
     }
 
-    /// `!$acc update host(name[range])` — download `bytes` (None = all).
+    /// `!$acc update host(name[range])` — download `bytes` (None = all),
+    /// starting at simulated time `now`.
     pub fn update_host(
         &mut self,
         name: &str,
         bytes: Option<u64>,
         kind: TransferKind,
+        now: SimTime,
         prof: &Profiler,
     ) -> Result<SimTime, DataError> {
         let m = self
@@ -167,17 +179,26 @@ impl DataEnv {
         let n = bytes.unwrap_or(m.bytes).min(m.bytes);
         m.device_dirty = false;
         let dt = transfer_time(&self.dev, n, self.host_alloc, kind);
-        prof.record(EventKind::MemcpyD2H, format!("update_host:{name}"), dt, 0);
+        prof.record_bytes(
+            EventKind::MemcpyD2H,
+            format!("update_host:{name}"),
+            now,
+            dt,
+            0,
+            n,
+        );
         self.transfer_s += dt;
         Ok(dt)
     }
 
-    /// `!$acc update device(name[range])` — upload `bytes` (None = all).
+    /// `!$acc update device(name[range])` — upload `bytes` (None = all),
+    /// starting at simulated time `now`.
     pub fn update_device(
         &mut self,
         name: &str,
         bytes: Option<u64>,
         kind: TransferKind,
+        now: SimTime,
         prof: &Profiler,
     ) -> Result<SimTime, DataError> {
         let m = self
@@ -187,7 +208,14 @@ impl DataEnv {
         let n = bytes.unwrap_or(m.bytes).min(m.bytes);
         m.host_dirty = false;
         let dt = transfer_time(&self.dev, n, self.host_alloc, kind);
-        prof.record(EventKind::MemcpyH2D, format!("update_device:{name}"), dt, 0);
+        prof.record_bytes(
+            EventKind::MemcpyH2D,
+            format!("update_device:{name}"),
+            now,
+            dt,
+            0,
+            n,
+        );
         self.transfer_s += dt;
         Ok(dt)
     }
@@ -242,6 +270,12 @@ impl DataEnv {
         self.mapped.get(name).is_some_and(|m| m.device_dirty)
     }
 
+    /// Mapped size of `name`, if present (observability: lets callers
+    /// compute the actual bytes a ranged `update` will move).
+    pub fn mapped_bytes(&self, name: &str) -> Option<u64> {
+        self.mapped.get(name).map(|m| m.bytes)
+    }
+
     /// Bytes currently resident (what `nvidia-smi` guided in Section 5.1).
     pub fn device_bytes_in_use(&self) -> u64 {
         self.mem.in_use()
@@ -272,7 +306,7 @@ mod tests {
     #[test]
     fn copyin_maps_and_prices_transfer() {
         let (mut e, p) = env();
-        let t = e.enter_data_copyin("u", 1 << 20, &p).unwrap();
+        let t = e.enter_data_copyin("u", 1 << 20, 0.0, &p).unwrap();
         assert!(t > 0.0);
         assert_eq!(e.device_bytes_in_use(), 1 << 20);
         assert!(e.present("u").is_ok());
@@ -294,8 +328,8 @@ mod tests {
     #[test]
     fn double_map_rejected() {
         let (mut e, p) = env();
-        e.enter_data_copyin("u", 100, &p).unwrap();
-        let err = e.enter_data_copyin("u", 100, &p).unwrap_err();
+        e.enter_data_copyin("u", 100, 0.0, &p).unwrap();
+        let err = e.enter_data_copyin("u", 100, 0.0, &p).unwrap_err();
         assert!(matches!(err, DataError::AlreadyPresent(_)));
     }
 
@@ -303,7 +337,7 @@ mod tests {
     fn oom_surfaces_capacity() {
         let (mut e, p) = env();
         // 6 GB card: a 7 GB request must fail.
-        let err = e.enter_data_copyin("big", 7 << 30, &p).unwrap_err();
+        let err = e.enter_data_copyin("big", 7 << 30, 0.0, &p).unwrap_err();
         match err {
             DataError::Oom(o) => assert_eq!(o.capacity, 6 << 30),
             other => panic!("expected OOM, got {other}"),
@@ -313,16 +347,16 @@ mod tests {
     #[test]
     fn update_host_partial_and_errors() {
         let (mut e, p) = env();
-        e.enter_data_copyin("u", 1 << 24, &p).unwrap();
+        e.enter_data_copyin("u", 1 << 24, 0.0, &p).unwrap();
         let full = e
-            .update_host("u", None, TransferKind::Contiguous, &p)
+            .update_host("u", None, TransferKind::Contiguous, 0.0, &p)
             .unwrap();
         let part = e
-            .update_host("u", Some(1 << 12), TransferKind::Contiguous, &p)
+            .update_host("u", Some(1 << 12), TransferKind::Contiguous, 0.0, &p)
             .unwrap();
         assert!(part < full);
         assert!(e
-            .update_host("ghost", None, TransferKind::Contiguous, &p)
+            .update_host("ghost", None, TransferKind::Contiguous, 0.0, &p)
             .is_err());
         // Partial ghost updates pay a strided penalty.
         let strided = e
@@ -333,6 +367,7 @@ mod tests {
                     chunks: 64,
                     chunk_bytes: 64,
                 },
+                0.0,
                 &p,
             )
             .unwrap();
@@ -342,9 +377,9 @@ mod tests {
     #[test]
     fn transfer_time_accumulates() {
         let (mut e, p) = env();
-        e.enter_data_copyin("a", 1 << 20, &p).unwrap();
+        e.enter_data_copyin("a", 1 << 20, 0.0, &p).unwrap();
         let t1 = e.transfer_time();
-        e.update_device("a", None, TransferKind::Contiguous, &p)
+        e.update_device("a", None, TransferKind::Contiguous, 0.0, &p)
             .unwrap();
         assert!(e.transfer_time() > t1);
     }
@@ -352,7 +387,7 @@ mod tests {
     #[test]
     fn double_delete_vs_never_mapped_are_distinct_errors() {
         let (mut e, p) = env();
-        e.enter_data_copyin("u", 100, &p).unwrap();
+        e.enter_data_copyin("u", 100, 0.0, &p).unwrap();
         e.exit_data_delete("u").unwrap();
         assert!(matches!(
             e.exit_data_delete("u"),
@@ -363,20 +398,20 @@ mod tests {
             Err(DataError::NotPresent(_))
         ));
         // Remapping clears the tombstone: the next delete succeeds again.
-        e.enter_data_copyin("u", 100, &p).unwrap();
+        e.enter_data_copyin("u", 100, 0.0, &p).unwrap();
         assert!(e.exit_data_delete("u").is_ok());
     }
 
     #[test]
     fn dirty_bits_catch_stale_host_reads() {
         let (mut e, p) = env();
-        e.enter_data_copyin("u", 1 << 20, &p).unwrap();
+        e.enter_data_copyin("u", 1 << 20, 0.0, &p).unwrap();
         // Fresh copyin is coherent.
         assert!(e.host_read("u").is_ok());
         e.mark_device_write("u");
         assert!(e.device_dirty("u"));
         assert!(matches!(e.host_read("u"), Err(DataError::StaleHostRead(_))));
-        e.update_host("u", None, TransferKind::Contiguous, &p)
+        e.update_host("u", None, TransferKind::Contiguous, 0.0, &p)
             .unwrap();
         assert!(e.host_read("u").is_ok());
         // Unmapped names never trip the detector (host-only data).
@@ -386,11 +421,11 @@ mod tests {
     #[test]
     fn host_dirty_cleared_by_update_device() {
         let (mut e, p) = env();
-        e.enter_data_copyin("u", 1 << 20, &p).unwrap();
+        e.enter_data_copyin("u", 1 << 20, 0.0, &p).unwrap();
         assert!(!e.device_copy_stale("u"));
         e.mark_host_write("u");
         assert!(e.device_copy_stale("u"));
-        e.update_device("u", None, TransferKind::Contiguous, &p)
+        e.update_device("u", None, TransferKind::Contiguous, 0.0, &p)
             .unwrap();
         assert!(!e.device_copy_stale("u"));
     }
@@ -400,9 +435,9 @@ mod tests {
         // The paper's offload-forward/upload-backward dance: a second phase
         // that would not co-fit must fit after exit data.
         let (mut e, p) = env();
-        e.enter_data_copyin("forward", 4 << 30, &p).unwrap();
-        assert!(e.enter_data_copyin("backward", 4 << 30, &p).is_err());
+        e.enter_data_copyin("forward", 4 << 30, 0.0, &p).unwrap();
+        assert!(e.enter_data_copyin("backward", 4 << 30, 0.0, &p).is_err());
         e.exit_data_delete("forward").unwrap();
-        assert!(e.enter_data_copyin("backward", 4 << 30, &p).is_ok());
+        assert!(e.enter_data_copyin("backward", 4 << 30, 0.0, &p).is_ok());
     }
 }

@@ -4,11 +4,13 @@ use crate::access::AccessSet;
 use crate::compiler::Compiler;
 use crate::construct::{Clause, ConstructKind, LoopNest};
 use crate::data::{DataEnv, DataError};
-use accel_sim::kernel::{time_kernel, KernelProfile, KernelTiming};
+use acc_obs::{ObsSession, Span, SpanCat, Track};
+use accel_sim::kernel::{roofline_terms, KernelProfile, KernelTiming};
 use accel_sim::pcie::{HostAlloc, TransferKind};
 use accel_sim::stream::{IssueMode, QueuedKernel, StreamSim};
 use accel_sim::{DeviceSpec, EventKind, Profiler, SimTime};
 use seismic_prop::desc::KernelDesc;
+use std::sync::Arc;
 
 /// Errors from runtime operations — the same vocabulary `acc-verify`
 /// diagnoses statically, surfaced at execution time.
@@ -56,6 +58,10 @@ pub struct AccRuntime {
     profiler: Profiler,
     queue: StreamSim,
     clock: SimTime,
+    /// Observability session, when attached: receives directive/kernel/
+    /// transfer spans, per-kernel counters, and registry increments in
+    /// addition to the profiler ledger. Never perturbs modeled timings.
+    obs: Option<Arc<ObsSession>>,
     /// Global `-ta=nvidia,maxregcount:n` compile flag (the paper's best
     /// strategy pinned 64).
     pub default_maxregcount: Option<u32>,
@@ -71,8 +77,20 @@ impl AccRuntime {
             profiler: Profiler::new(),
             queue: StreamSim::new(),
             clock: 0.0,
+            obs: None,
             default_maxregcount: Some(64),
         }
+    }
+
+    /// Attach an observability session; subsequent launches, waits, and
+    /// data directives record spans, counters, and metrics into it.
+    pub fn attach_obs(&mut self, obs: Arc<ObsSession>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability session, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsSession>> {
+        self.obs.as_ref()
     }
 
     /// The device spec.
@@ -119,6 +137,7 @@ impl AccRuntime {
             .compiler
             .map(nest, kind, clauses, desc.divergence > 0.0);
         let dev = self.data.device();
+        let rw = desc.reads + desc.writes;
         let profile = KernelProfile {
             name: desc.name.to_string(),
             points: nest.points(),
@@ -129,25 +148,57 @@ impl AccRuntime {
             coalesced: desc.coalesced && plan.coalesced,
             divergence: desc.divergence,
             vectorized: plan.vectorized,
+            read_fraction: if rw > 0.0 { desc.reads / rw } else { 0.5 },
         };
-        let mut timing = time_kernel(dev, &profile);
-        timing.exec_s *= plan.quality;
-        timing.total_s = timing.exec_s + dev.launch_overhead_s;
+        let terms = roofline_terms(dev, &profile);
+        let exec_s = terms.exec_s * plan.quality;
+        let timing = KernelTiming {
+            total_s: exec_s + dev.launch_overhead_s,
+            exec_s,
+            memory_bound: terms.memory_bound,
+            occupancy: terms.occupancy,
+            spilled: terms.spilled,
+        };
+        if let Some(obs) = &self.obs {
+            obs.record_kernel(dev, &profile, &terms, exec_s);
+        }
 
         let stream = plan.async_stream.unwrap_or(0);
-        self.profiler
-            .record(EventKind::Kernel, desc.name, timing.exec_s, stream);
         match plan.async_stream {
             Some(q) => {
+                // Async: the kernel's true start is only known once the
+                // drain schedule runs, so profiler/tracer recording is
+                // deferred to the wait (see `try_wait_async`).
                 let capacity = f64::from(dev.sm_count) * f64::from(dev.max_threads_per_sm);
                 self.queue.push(QueuedKernel {
                     name: desc.name.to_string(),
-                    exec_s: timing.exec_s,
+                    exec_s,
                     sm_fraction: ((nest.points() as f64) / capacity).min(1.0),
                     stream: q,
                 });
             }
             None => {
+                // Sync: the host pays the issue gap, the device the launch
+                // overhead, then the kernel executes.
+                let start = self.clock + dev.issue_gap_s + dev.launch_overhead_s;
+                self.profiler
+                    .record(EventKind::Kernel, desc.name, start, exec_s, stream);
+                if let Some(obs) = &self.obs {
+                    obs.span(Span::new(
+                        Track::Host,
+                        SpanCat::Directive,
+                        format!("launch:{}", desc.name),
+                        self.clock,
+                        dev.issue_gap_s + dev.launch_overhead_s,
+                    ));
+                    obs.span(Span::new(
+                        Track::DeviceStream(stream),
+                        SpanCat::Kernel,
+                        desc.name,
+                        start,
+                        exec_s,
+                    ));
+                }
                 self.clock += dev.issue_gap_s + timing.total_s;
             }
         }
@@ -195,9 +246,10 @@ impl AccRuntime {
             return Err(RuntimeError::NothingPending);
         }
         let dev = self.data.device().clone();
-        let t = self.queue.drain_makespan(&dev, IssueMode::AsyncStreams);
-        self.clock += t;
-        Ok(t)
+        let sched = self.queue.drain_schedule(&dev, IssueMode::AsyncStreams);
+        self.record_drained(&sched, "wait");
+        self.clock += sched.makespan_s;
+        Ok(sched.makespan_s)
     }
 
     /// `!$acc wait(queue)` — drain one async queue only; `0.0` when the
@@ -213,9 +265,45 @@ impl AccRuntime {
             return Err(RuntimeError::QueueEmpty(queue));
         }
         let dev = self.data.device().clone();
-        let t = self.queue.drain_queue_makespan(&dev, queue);
-        self.clock += t;
-        Ok(t)
+        let sched = self.queue.drain_queue_schedule(&dev, queue);
+        self.record_drained(&sched, &format!("wait({queue})"));
+        self.clock += sched.makespan_s;
+        Ok(sched.makespan_s)
+    }
+
+    /// Deferred recording of async work at its wait: the drain schedule
+    /// fixed each kernel's true start (relative to the wait, i.e. the
+    /// current clock), so the profiler ledger and the trace carry real
+    /// timestamps instead of a serial-per-stream approximation.
+    fn record_drained(&mut self, sched: &accel_sim::DrainSchedule, wait_name: &str) {
+        let base = self.clock;
+        for k in &sched.kernels {
+            self.profiler.record(
+                EventKind::Kernel,
+                k.name.clone(),
+                base + k.start_s,
+                k.exec_s,
+                k.stream,
+            );
+        }
+        if let Some(obs) = &self.obs {
+            for k in &sched.kernels {
+                obs.span(Span::new(
+                    Track::DeviceStream(k.stream),
+                    SpanCat::Kernel,
+                    k.name.clone(),
+                    base + k.start_s,
+                    k.exec_s,
+                ));
+            }
+            obs.span(Span::new(
+                Track::Host,
+                SpanCat::Wait,
+                wait_name,
+                base,
+                sched.makespan_s,
+            ));
+        }
     }
 
     /// A structured `!$acc data copyin(...)` region: maps every listed
@@ -259,7 +347,23 @@ impl AccRuntime {
 
     /// Data directive: `enter data copyin`, advancing the clock.
     pub fn enter_data_copyin(&mut self, name: &str, bytes: u64) -> Result<(), DataError> {
-        let t = self.data.enter_data_copyin(name, bytes, &self.profiler)?;
+        let now = self.clock;
+        let t = self
+            .data
+            .enter_data_copyin(name, bytes, now, &self.profiler)?;
+        if let Some(obs) = &self.obs {
+            obs.span(
+                Span::new(
+                    Track::DeviceStream(0),
+                    SpanCat::MemcpyH2D,
+                    format!("copyin:{name}"),
+                    now,
+                    t,
+                )
+                .with_bytes(bytes),
+            );
+            obs.registry.inc("bytes_h2d", bytes);
+        }
         self.clock += t;
         Ok(())
     }
@@ -273,7 +377,17 @@ impl AccRuntime {
 
     /// Data directive: `exit data delete`.
     pub fn exit_data_delete(&mut self, name: &str) -> Result<(), DataError> {
-        self.data.exit_data_delete(name)
+        self.data.exit_data_delete(name)?;
+        if let Some(obs) = &self.obs {
+            obs.span(Span::new(
+                Track::DeviceStream(0),
+                SpanCat::Directive,
+                format!("delete:{name}"),
+                self.clock,
+                0.0,
+            ));
+        }
+        Ok(())
     }
 
     /// `update host`, advancing the clock.
@@ -283,7 +397,24 @@ impl AccRuntime {
         bytes: Option<u64>,
         kind: TransferKind,
     ) -> Result<SimTime, DataError> {
-        let t = self.data.update_host(name, bytes, kind, &self.profiler)?;
+        let now = self.clock;
+        let moved = self.moved_bytes(name, bytes);
+        let t = self
+            .data
+            .update_host(name, bytes, kind, now, &self.profiler)?;
+        if let Some(obs) = &self.obs {
+            obs.span(
+                Span::new(
+                    Track::DeviceStream(0),
+                    SpanCat::MemcpyD2H,
+                    format!("update_host:{name}"),
+                    now,
+                    t,
+                )
+                .with_bytes(moved),
+            );
+            obs.registry.inc("bytes_d2h", moved);
+        }
         self.clock += t;
         Ok(t)
     }
@@ -295,9 +426,32 @@ impl AccRuntime {
         bytes: Option<u64>,
         kind: TransferKind,
     ) -> Result<SimTime, DataError> {
-        let t = self.data.update_device(name, bytes, kind, &self.profiler)?;
+        let now = self.clock;
+        let moved = self.moved_bytes(name, bytes);
+        let t = self
+            .data
+            .update_device(name, bytes, kind, now, &self.profiler)?;
+        if let Some(obs) = &self.obs {
+            obs.span(
+                Span::new(
+                    Track::DeviceStream(0),
+                    SpanCat::MemcpyH2D,
+                    format!("update_device:{name}"),
+                    now,
+                    t,
+                )
+                .with_bytes(moved),
+            );
+            obs.registry.inc("bytes_h2d", moved);
+        }
         self.clock += t;
         Ok(t)
+    }
+
+    /// Bytes a ranged `update` of `name` actually moves.
+    fn moved_bytes(&self, name: &str, bytes: Option<u64>) -> u64 {
+        let mapped = self.data.mapped_bytes(name).unwrap_or(0);
+        bytes.unwrap_or(mapped).min(mapped)
     }
 }
 
@@ -501,6 +655,84 @@ mod tests {
         ));
         r.update_host("u", None, TransferKind::Contiguous).unwrap();
         assert!(r.data().host_read("u").is_ok());
+    }
+
+    /// Async kernels are recorded at their wait with the drain schedule's
+    /// true timestamps; sync kernels at launch. Totals are unchanged by
+    /// the deferral.
+    #[test]
+    fn deferred_async_recording_has_true_starts() {
+        let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+        let nest = LoopNest::new(&[64, 64]);
+        for q in 0..3 {
+            r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(q)]);
+        }
+        assert!(
+            r.profiler().is_empty(),
+            "async events defer until the wait fixes their start"
+        );
+        let base = r.elapsed();
+        let t = r.wait_async();
+        let events = r.profiler().events();
+        assert_eq!(events.len(), 3);
+        for e in &events {
+            assert!(e.start_s >= base, "starts inside the drain window");
+            assert!(e.start_s + e.duration_s <= base + t + 1e-12);
+        }
+    }
+
+    #[test]
+    fn obs_session_records_spans_metrics_registry() {
+        let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+        let obs = Arc::new(ObsSession::new());
+        r.attach_obs(obs.clone());
+        let nest = LoopNest::new(&[256, 256]);
+        r.enter_data_copyin("u", 1 << 20).unwrap();
+        r.launch(&desc(), &nest, ConstructKind::Kernels, &[]);
+        r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(1)]);
+        r.wait_async();
+        r.update_host("u", Some(1 << 10), TransferKind::Contiguous)
+            .unwrap();
+        r.exit_data_delete("u").unwrap();
+        assert_eq!(obs.registry.counter("kernels_launched"), 2);
+        assert_eq!(obs.registry.counter("bytes_h2d"), 1 << 20);
+        assert_eq!(obs.registry.counter("bytes_d2h"), 1 << 10);
+        assert_eq!(obs.metrics().get("test_kernel").unwrap().invocations, 2);
+        let tracks = obs.tracer.tracks();
+        assert!(tracks.contains(&acc_obs::Track::Host));
+        assert!(tracks.contains(&acc_obs::Track::DeviceStream(0)));
+        assert!(tracks.contains(&acc_obs::Track::DeviceStream(1)));
+        // Kernel spans mirror the profiler ledger exactly.
+        let kernel_spans: Vec<_> = obs
+            .tracer
+            .spans()
+            .into_iter()
+            .filter(|s| s.cat == acc_obs::SpanCat::Kernel)
+            .collect();
+        assert_eq!(kernel_spans.len(), 2);
+        let total_span: f64 = kernel_spans.iter().map(|s| s.dur_s).sum();
+        assert!((total_span - r.profiler().compute_time()).abs() < 1e-15);
+    }
+
+    /// Attaching observability must not change modeled timings.
+    #[test]
+    fn obs_does_not_perturb_clock() {
+        let run = |observed: bool| {
+            let mut r = AccRuntime::new(DeviceSpec::k40(), Compiler::Cray);
+            if observed {
+                r.attach_obs(Arc::new(ObsSession::new()));
+            }
+            let nest = LoopNest::new(&[512, 512]);
+            r.enter_data_copyin("u", 8 << 20).unwrap();
+            r.launch(&desc(), &nest, ConstructKind::Kernels, &[]);
+            for q in 0..4 {
+                r.launch(&desc(), &nest, ConstructKind::Parallel, &[Clause::Async(q)]);
+            }
+            r.wait_async();
+            r.update_host("u", None, TransferKind::Contiguous).unwrap();
+            r.elapsed()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     /// A body that deletes a region variable itself surfaces the typed

@@ -14,7 +14,10 @@
 //! * [`resilience`] — overhead-vs-MTTI sweeps of the fault-tolerant
 //!   executor and checkpoint-restart recompute measurements,
 //! * [`verify`] — the `acc-verify` lint report over the twelve cases (the
-//!   `accverify` binary and CI gate).
+//!   `accverify` binary and CI gate),
+//! * [`accprof`] — the pseudo-profiler: one observed run of any case
+//!   emitting an nvprof-style summary, a `--metrics` counter table, a
+//!   Perfetto timeline, and a machine-readable report.
 //!
 //! [`ablation`] adds studies of the design choices DESIGN.md calls out
 //! (working tile/cache clauses, pinned memory, partial transfers, C-PML
@@ -24,6 +27,7 @@
 //! experiment index.
 
 pub mod ablation;
+pub mod accprof;
 pub mod cases;
 pub mod figures;
 pub mod paper;
