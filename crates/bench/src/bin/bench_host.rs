@@ -1,0 +1,277 @@
+//! Wall-clock host-engine benchmark: grid-points/sec for representative
+//! 2D/3D cases across gang counts, pooled vs per-launch `thread::scope`
+//! execution, emitted as `BENCH_host.json`.
+//!
+//! Every (case, gangs) pair runs under BOTH engines and the seismograms
+//! are asserted bit-identical before any number is reported — a speedup
+//! that changes the physics is a bug, not a result.
+//!
+//! ```text
+//! bench_host [--quick] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! * `--quick`   — smaller grids / fewer repetitions (the CI smoke mode)
+//! * `--out`     — where to write the JSON (default `BENCH_host.json`)
+//! * `--check`   — compare pooled grid-points/sec against a baseline JSON
+//!   and exit non-zero if any case regressed by more than 20%
+
+use openacc_sim::exec::{set_engine, Engine};
+use rtm_core::modeling::{run_modeling, Medium2};
+use rtm_core::modeling3::{run_modeling3, Medium3};
+use rtm_core::OptimizationConfig;
+use seismic_grid::cfl::stable_dt;
+use seismic_model::builder::{acoustic2_layered, iso2_constant, iso3_layered, standard_layers};
+use seismic_model::{extent2, extent3, Geometry};
+use seismic_pml::{CpmlAxis, DampProfile};
+use seismic_source::{Acquisition2, Acquisition3, Seismogram, Wavelet};
+use std::time::Instant;
+
+/// Tolerated fractional drop of pooled grid-points/sec vs the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct Sample {
+    case: &'static str,
+    gangs: usize,
+    engine: &'static str,
+    median_secs: f64,
+    gp_per_s: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Time `reps` runs of `f` (which must do a full modeling run) and return
+/// the median wall-clock seconds plus the last run's seismogram.
+fn time_runs(reps: usize, mut f: impl FnMut() -> Seismogram) -> (f64, Seismogram) {
+    let mut secs = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = f();
+        secs.push(t0.elapsed().as_secs_f64());
+        last = Some(s);
+    }
+    (median(secs), last.expect("reps >= 1"))
+}
+
+fn iso2d_medium(n: usize) -> Medium2 {
+    let e = extent2(n, n);
+    let h = 10.0;
+    let dt = stable_dt(8, 2, 2000.0, h, 0.8);
+    let d = DampProfile::new(n, e.halo, 10, 2000.0, h, 1e-4);
+    Medium2::Iso {
+        model: iso2_constant(e, 2000.0, Geometry::uniform(h, dt)),
+        damp_x: d.clone(),
+        damp_z: d,
+    }
+}
+
+fn ac2d_medium(n: usize) -> Medium2 {
+    let e = extent2(n, n);
+    let h = 10.0;
+    let dt = stable_dt(8, 2, 3200.0, h, 0.6);
+    let c = CpmlAxis::new(n, e.halo, 10, dt, 3200.0, h, 1e-4);
+    Medium2::Acoustic {
+        model: acoustic2_layered(e, &standard_layers(n), Geometry::uniform(h, dt)),
+        cpml: [c.clone(), c],
+    }
+}
+
+fn iso3d_medium(n: usize) -> Medium3 {
+    let e = extent3(n, n, n);
+    let h = 10.0;
+    let dt = stable_dt(8, 3, 3200.0, h, 0.7);
+    let d = DampProfile::new(n, e.halo, 6, 3200.0, h, 1e-4);
+    Medium3::Iso {
+        model: iso3_layered(e, &standard_layers(n), Geometry::uniform(h, dt)),
+        damp: [d.clone(), d.clone(), d],
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_case(
+    results: &mut Vec<Sample>,
+    case: &'static str,
+    points_per_step: usize,
+    steps: usize,
+    gangs_list: &[usize],
+    reps: usize,
+    mut run: impl FnMut(usize) -> Seismogram,
+) {
+    for &gangs in gangs_list {
+        let mut per_engine: Vec<(&'static str, Engine)> =
+            vec![("scoped", Engine::Scoped), ("pooled", Engine::Pooled)];
+        let mut seismos: Vec<Seismogram> = Vec::new();
+        for (name, engine) in per_engine.drain(..) {
+            set_engine(engine);
+            let (secs, seis) = time_runs(reps, || run(gangs));
+            let gp = (points_per_step * steps) as f64 / secs;
+            eprintln!("{case:>12}  gangs={gangs}  {name:>6}  {secs:>9.4}s  {gp:>12.0} gp/s");
+            results.push(Sample {
+                case,
+                gangs,
+                engine: name,
+                median_secs: secs,
+                gp_per_s: gp,
+            });
+            seismos.push(seis);
+        }
+        set_engine(Engine::Pooled);
+        assert_eq!(
+            seismos[0], seismos[1],
+            "{case} gangs={gangs}: engines must be bit-identical"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_host.json".into());
+    let baseline = arg_value("--check");
+
+    let reps = if quick { 3 } else { 7 };
+    let (n2, steps2) = if quick { (64, 30) } else { (96, 60) };
+    let (n3, steps3) = if quick { (16, 24) } else { (20, 40) };
+    let gangs_list = [1usize, 2, 4, 8];
+    let cfg = OptimizationConfig::default();
+    let w = Wavelet::ricker(22.0);
+
+    let mut results: Vec<Sample> = Vec::new();
+
+    {
+        let medium = iso2d_medium(n2);
+        let acq = Acquisition2::surface_line(n2, n2 / 2, n2 / 2, 2, 6);
+        bench_case(
+            &mut results,
+            "iso2d",
+            n2 * n2,
+            steps2,
+            &gangs_list,
+            reps,
+            |gangs| run_modeling(&medium, &acq, &w, &cfg, steps2, steps2, gangs).seismogram,
+        );
+    }
+    {
+        let medium = ac2d_medium(n2);
+        let acq = Acquisition2::surface_line(n2, n2 / 2, n2 / 2, 2, 6);
+        bench_case(
+            &mut results,
+            "acoustic2d",
+            n2 * n2,
+            steps2,
+            &gangs_list,
+            reps,
+            |gangs| run_modeling(&medium, &acq, &w, &cfg, steps2, steps2, gangs).seismogram,
+        );
+    }
+    {
+        let medium = iso3d_medium(n3);
+        let acq = Acquisition3::surface_patch(n3, n3, (n3 / 2, n3 / 2, n3 / 2), 3, 8);
+        bench_case(
+            &mut results,
+            "iso3d",
+            n3 * n3 * n3,
+            steps3,
+            &gangs_list,
+            reps,
+            |gangs| run_modeling3(&medium, &acq, &w, &cfg, steps3, steps3, gangs).seismogram,
+        );
+    }
+
+    // Headline: the acceptance-criterion ratio — 3D isotropic modeling at
+    // 8 gangs, pooled vs per-launch thread::scope.
+    let find = |case: &str, gangs: usize, engine: &str| {
+        results
+            .iter()
+            .find(|s| s.case == case && s.gangs == gangs && s.engine == engine)
+            .expect("sample present")
+    };
+    let headline_scoped = find("iso3d", 8, "scoped").median_secs;
+    let headline_pooled = find("iso3d", 8, "pooled").median_secs;
+    let speedup = headline_scoped / headline_pooled;
+    eprintln!("\niso3d @ 8 gangs: pooled is {speedup:.2}x the scoped engine");
+
+    // Emit BENCH_host.json.
+    let mut root = serde_json::Map::new();
+    root.insert("quick", quick);
+    root.insert(
+        "cores",
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+    );
+    let samples: Vec<serde_json::Value> = results
+        .iter()
+        .map(|s| {
+            let mut m = serde_json::Map::new();
+            m.insert("case", s.case);
+            m.insert("gangs", s.gangs);
+            m.insert("engine", s.engine);
+            m.insert("median_secs", s.median_secs);
+            m.insert("gp_per_s", s.gp_per_s);
+            serde_json::Value::Object(m)
+        })
+        .collect();
+    root.insert("results", samples);
+    let mut headline = serde_json::Map::new();
+    headline.insert("case", "iso3d");
+    headline.insert("gangs", 8u64);
+    headline.insert("speedup_pooled_vs_scoped", speedup);
+    headline.insert("bit_identical", true);
+    root.insert("headline", headline);
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(root));
+    std::fs::write(&out_path, &json).expect("write BENCH_host.json");
+    eprintln!("wrote {out_path}");
+
+    // Regression gate: pooled gp/s per (case, gangs) vs the baseline.
+    if let Some(path) = baseline {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base = serde_json::from_str(&text).expect("parse baseline");
+        let mut failures = Vec::new();
+        for entry in base
+            .get("results")
+            .and_then(|r| r.as_array())
+            .expect("baseline results[]")
+        {
+            let engine = entry.get("engine").and_then(|v| v.as_str()).unwrap_or("");
+            if engine != "pooled" {
+                continue;
+            }
+            let case = entry.get("case").and_then(|v| v.as_str()).expect("case");
+            let gangs = entry.get("gangs").and_then(|v| v.as_u64()).expect("gangs") as usize;
+            let base_gp = entry
+                .get("gp_per_s")
+                .and_then(|v| v.as_f64())
+                .expect("gp_per_s");
+            let Some(cur) = results
+                .iter()
+                .find(|s| s.case == case && s.gangs == gangs && s.engine == "pooled")
+            else {
+                continue; // baseline covers a case this mode didn't run
+            };
+            let floor = base_gp * (1.0 - REGRESSION_TOLERANCE);
+            if cur.gp_per_s < floor {
+                failures.push(format!(
+                    "{case} gangs={gangs}: {:.0} gp/s < {floor:.0} (baseline {base_gp:.0})",
+                    cur.gp_per_s
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("PERF REGRESSION:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("regression check vs {path}: ok");
+    }
+}

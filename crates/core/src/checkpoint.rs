@@ -17,6 +17,7 @@
 use crate::case::OptimizationConfig;
 use crate::error::{ConfigError, RtmError};
 use crate::modeling::{Medium2, State2};
+use exec_host::Arena;
 use seismic_grid::Field2;
 use seismic_source::{Acquisition2, Seismogram, Wavelet};
 
@@ -67,13 +68,18 @@ pub fn migrate_checkpointed(
 
     // Forward pass: store full states at checkpoint steps only.
     // `stored[k]` is the state *before* executing step `checkpoints[k]`.
-    let mut stored: Vec<State2> = Vec::with_capacity(checkpoints.len());
+    // The slots are allocated up front and filled by `copy_from`, so the
+    // time loop itself never allocates (a `clone()` per checkpoint used to
+    // reallocate every field of the state).
+    let mut stored: Vec<State2> = (0..checkpoints.len())
+        .map(|_| State2::new(medium))
+        .collect();
     {
         let mut state = State2::new(medium);
         let mut next = 0usize;
         for t in 0..steps {
             if next < checkpoints.len() && checkpoints[next] == t {
-                stored.push(state.clone());
+                stored[next].copy_from(&state);
                 next += 1;
             }
             state.step(medium, config, gangs);
@@ -91,12 +97,17 @@ pub fn migrate_checkpointed(
     // field stepping backward through the same time range.
     let mut image = Field2::zeros(e);
     let mut rstate = State2::new(medium);
+    // One forward-replay state reused across every segment, and an arena
+    // recycling the per-segment snapshot buffers: after the first (longest)
+    // segment the backward pass reaches steady state and allocates nothing.
+    let mut fstate = State2::new(medium);
+    let snap_arena: Arena<Field2> = Arena::new();
+    let mut replay: Vec<(usize, Field2)> = Vec::new();
     let mut seg_end = steps;
     for (k, &seg_start) in checkpoints.iter().enumerate().rev() {
         // Replay the forward field across [seg_start, seg_end), keeping the
         // snapshots that fall in the segment.
-        let mut replay: Vec<(usize, Field2)> = Vec::new();
-        let mut fstate = stored[k].clone();
+        fstate.copy_from(&stored[k]);
         for t in seg_start..seg_end {
             fstate.step(medium, config, gangs);
             fstate.inject(
@@ -109,7 +120,9 @@ pub fn migrate_checkpointed(
             // when t % snap_period == 0 in the forward driver (which saves
             // after stepping+injecting).
             if t % snap_period == 0 {
-                replay.push((t, fstate.wavefield()));
+                let mut snap = snap_arena.take_with(|| Field2::zeros(e));
+                fstate.write_wavefield_into(&mut snap);
+                replay.push((t, snap));
             }
         }
         // Receiver field walks t = seg_end-1 .. seg_start, imaging at the
@@ -132,6 +145,9 @@ pub fn migrate_checkpointed(
             for (r, rcv) in acq.receivers.iter().enumerate() {
                 rstate.inject(medium, rcv.ix, rcv.iz, seismogram.get(r, t));
             }
+        }
+        for (_, snap) in replay.drain(..) {
+            snap_arena.put(snap);
         }
         seg_end = seg_start;
     }

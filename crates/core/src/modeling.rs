@@ -125,6 +125,39 @@ impl State2 {
         }
     }
 
+    /// [`wavefield`](Self::wavefield) into a caller-owned field without
+    /// allocating — the steady-state snapshot path (extents must match).
+    pub fn write_wavefield_into(&self, out: &mut Field2) {
+        match self {
+            State2::Iso(s) => out.copy_from(&s.u_cur),
+            State2::Acoustic(s) => out.copy_from(&s.p),
+            State2::Elastic(s) => {
+                assert_eq!(out.extent(), s.sxx.extent(), "wavefield extent mismatch");
+                for (d, (a, b)) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(s.sxx.as_slice().iter().zip(s.szz.as_slice()))
+                {
+                    *d = 0.5 * (a + b);
+                }
+            }
+            State2::Vti(s) => out.copy_from(&s.p_cur),
+        }
+    }
+
+    /// Overwrite this state from `other` without allocating. Both must be
+    /// the same formulation on the same extent — the checkpoint-slot and
+    /// arena-reuse path (a clone allocates every field; this recycles them).
+    pub fn copy_from(&mut self, other: &Self) {
+        match (self, other) {
+            (State2::Iso(d), State2::Iso(s)) => d.copy_from(s),
+            (State2::Acoustic(d), State2::Acoustic(s)) => d.copy_from(s),
+            (State2::Elastic(d), State2::Elastic(s)) => d.copy_from(s),
+            (State2::Vti(d), State2::Vti(s)) => d.copy_from(s),
+            _ => panic!("state/state formulation mismatch"),
+        }
+    }
+
     /// Pressure-like source injection at an interior point.
     pub fn inject(&mut self, medium: &Medium2, ix: usize, iz: usize, amp: f32) {
         match (self, medium) {
@@ -383,7 +416,12 @@ pub fn run_modeling(
 ) -> ModelingResult {
     let mut state = State2::new(medium);
     let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
-    let mut snapshots = Vec::new();
+    // Snapshot storage is sized up front so the time loop itself performs
+    // no allocation — every step only writes into preexisting buffers.
+    let n_snaps = steps.div_ceil(snap_period);
+    let mut snapshots: Vec<Field2> = (0..n_snaps)
+        .map(|_| Field2::zeros(medium.extent()))
+        .collect();
     let dt = medium.dt();
     for t in 0..steps {
         state.step(medium, config, gangs);
@@ -397,7 +435,7 @@ pub fn run_modeling(
             seismogram.record(r, t, state.sample(rcv.ix, rcv.iz));
         }
         if t % snap_period == 0 {
-            snapshots.push(state.wavefield());
+            state.write_wavefield_into(&mut snapshots[t / snap_period]);
         }
     }
     ModelingResult {

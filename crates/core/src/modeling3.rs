@@ -117,6 +117,64 @@ impl State3 {
         }
     }
 
+    /// [`wavefield`](Self::wavefield) into a caller-owned volume without
+    /// allocating — the steady-state snapshot path (for the elastic
+    /// formulation only the interior is written, so `out` should start
+    /// zeroed to match `wavefield` bitwise).
+    pub fn write_wavefield_into(&self, out: &mut Field3) {
+        match self {
+            State3::Iso(s) => out.copy_from(&s.u_cur),
+            State3::Acoustic(s) => out.copy_from(&s.p),
+            State3::Elastic(s) => {
+                let e = s.sxx.extent();
+                assert_eq!(out.extent(), e, "wavefield extent mismatch");
+                for iz in 0..e.nz {
+                    for iy in 0..e.ny {
+                        for ix in 0..e.nx {
+                            out.set(ix, iy, iz, self.sample(ix, iy, iz));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`slice_y`](Self::slice_y) into a caller-owned plane without
+    /// allocating — the steady-state snapshot path (interior writes only,
+    /// so `out` should start zeroed to match `slice_y` bitwise).
+    pub fn write_slice_y_into(&self, iy: usize, out: &mut seismic_grid::Field2) {
+        match self {
+            State3::Iso(s) => s.u_cur.write_slice_y_into(iy, out),
+            State3::Acoustic(s) => s.p.write_slice_y_into(iy, out),
+            State3::Elastic(s) => {
+                let e = s.sxx.extent();
+                let e2 = out.extent();
+                assert_eq!(
+                    (e2.nx, e2.nz, e2.halo),
+                    (e.nx, e.nz, e.halo),
+                    "plane extent mismatch"
+                );
+                for iz in 0..e.nz {
+                    for ix in 0..e.nx {
+                        out.set(ix, iz, self.sample(ix, iy, iz));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overwrite this state from `other` without allocating. Both must be
+    /// the same formulation on the same extent — the checkpoint-slot and
+    /// arena-reuse path.
+    pub fn copy_from(&mut self, other: &Self) {
+        match (self, other) {
+            (State3::Iso(d), State3::Iso(s)) => d.copy_from(s),
+            (State3::Acoustic(d), State3::Acoustic(s)) => d.copy_from(s),
+            (State3::Elastic(d), State3::Elastic(s)) => d.copy_from(s),
+            _ => panic!("state/state formulation mismatch"),
+        }
+    }
+
     /// Pressure-like source injection at an interior point.
     pub fn inject(&mut self, medium: &Medium3, ix: usize, iy: usize, iz: usize, amp: f32) {
         match (self, medium) {
@@ -462,7 +520,14 @@ pub fn run_modeling3(
 ) -> Modeling3Result {
     let mut state = State3::new(medium);
     let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
-    let mut snapshots = Vec::new();
+    // Plane-snapshot storage is sized up front so the time loop itself
+    // performs no allocation.
+    let e = medium.extent();
+    let e2 = seismic_grid::Extent2::new(e.nx, e.nz, e.halo);
+    let n_snaps = steps.div_ceil(snap_period);
+    let mut snapshots: Vec<seismic_grid::Field2> = (0..n_snaps)
+        .map(|_| seismic_grid::Field2::zeros(e2))
+        .collect();
     let dt = medium.dt();
     for t in 0..steps {
         state.step(medium, config, gangs);
@@ -477,7 +542,7 @@ pub fn run_modeling3(
             seismogram.record(r, t, state.sample(rcv.ix, rcv.iy, rcv.iz));
         }
         if t % snap_period == 0 {
-            snapshots.push(state.slice_y(acq.src_iy));
+            state.write_slice_y_into(acq.src_iy, &mut snapshots[t / snap_period]);
         }
     }
     Modeling3Result {

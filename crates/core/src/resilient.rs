@@ -583,7 +583,9 @@ fn run_rtm_with_restart_at(
     let dt = medium.dt();
     let mut state = State2::new(medium);
     let mut ckpt_step = 0usize;
-    let mut ckpt_state = state.clone();
+    // The checkpoint slot is allocated once; stores and restores are
+    // `copy_from` overwrites, so interrupts never reallocate the state.
+    let mut ckpt_state = State2::new(medium);
     let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
     let mut snapshots: Vec<Field2> = Vec::new();
     let mut pending: Vec<usize> = interrupts.iter().copied().filter(|&i| i < steps).collect();
@@ -599,13 +601,13 @@ fn run_rtm_with_restart_at(
             // the last checkpoint. Each interrupt fires once.
             next_interrupt += 1;
             restores += 1;
-            state = ckpt_state.clone();
+            state.copy_from(&ckpt_state);
             t = ckpt_step;
             continue;
         }
         if ckpt_steps.binary_search(&t).is_ok() {
             ckpt_step = t;
-            ckpt_state = state.clone();
+            ckpt_state.copy_from(&state);
         }
         state.step(medium, config, gangs);
         state.inject(
@@ -619,11 +621,11 @@ fn run_rtm_with_restart_at(
         }
         if t.is_multiple_of(snap_period) {
             let idx = t / snap_period;
-            let snap = state.wavefield();
             if idx < snapshots.len() {
-                snapshots[idx] = snap;
+                // Replay after a restore: overwrite the slot in place.
+                state.write_wavefield_into(&mut snapshots[idx]);
             } else {
-                snapshots.push(snap);
+                snapshots.push(state.wavefield());
             }
         }
         executed += 1;

@@ -79,10 +79,14 @@ pub fn run_rtm3(
     snap_period: usize,
     gangs: usize,
 ) -> Rtm3Result {
-    // Forward phase with volume snapshots.
+    // Forward phase with volume snapshots, sized up front so the time loop
+    // itself performs no allocation.
     let mut fstate = State3::new(medium);
     let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
-    let mut snapshots: Vec<Field3> = Vec::new();
+    let n_snaps = steps.div_ceil(snap_period);
+    let mut snapshots: Vec<Field3> = (0..n_snaps)
+        .map(|_| Field3::zeros(medium.extent()))
+        .collect();
     let dt = medium.dt();
     for t in 0..steps {
         fstate.step(medium, config, gangs);
@@ -97,7 +101,7 @@ pub fn run_rtm3(
             seismogram.record(r, t, fstate.sample(rcv.ix, rcv.iy, rcv.iz));
         }
         if t % snap_period == 0 {
-            snapshots.push(fstate.wavefield());
+            fstate.write_wavefield_into(&mut snapshots[t / snap_period]);
         }
     }
 

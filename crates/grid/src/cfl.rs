@@ -6,7 +6,7 @@
 //! [`stable_dt`]; the stability tests in `seismic-prop` deliberately violate
 //! the bound and assert blow-up.
 
-use crate::fd::centered_second;
+use crate::fd::{try_centered_second, UnsupportedOrder};
 
 /// Courant number for the centered second-order-in-time scheme with a
 /// centered spatial stencil of the given order, in `dims` dimensions.
@@ -14,17 +14,35 @@ use crate::fd::centered_second;
 /// Derived from von Neumann analysis: the worst-mode amplification stays
 /// bounded iff `v·dt·sqrt(Σ_axis 4/h² · S)` ≤ 2 where `S = Σ|cₖ| / 2`-ish;
 /// in the standard form the limit is `dt ≤ 2 / (v·sqrt(dims·Σ|cₖ|)/h)`.
-pub fn courant_limit(order: usize, dims: usize) -> f64 {
-    let c = centered_second(order);
+pub fn try_courant_limit(order: usize, dims: usize) -> Result<f64, UnsupportedOrder> {
+    let c = try_centered_second(order)?;
     let abs_sum: f64 = c[0].abs() + 2.0 * c[1..].iter().map(|x| x.abs()).sum::<f64>();
-    2.0 / (dims as f64 * abs_sum).sqrt()
+    Ok(2.0 / (dims as f64 * abs_sum).sqrt())
+}
+
+/// [`try_courant_limit`] for fixed-order call sites; panics on unsupported
+/// orders.
+pub fn courant_limit(order: usize, dims: usize) -> f64 {
+    try_courant_limit(order, dims).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Largest stable `dt` for max velocity `v_max` and smallest spacing `h_min`,
 /// with a safety factor (default callers use 0.9).
-pub fn stable_dt(order: usize, dims: usize, v_max: f32, h_min: f32, safety: f32) -> f32 {
+pub fn try_stable_dt(
+    order: usize,
+    dims: usize,
+    v_max: f32,
+    h_min: f32,
+    safety: f32,
+) -> Result<f32, UnsupportedOrder> {
     assert!(v_max > 0.0 && h_min > 0.0 && safety > 0.0 && safety <= 1.0);
-    (courant_limit(order, dims) as f32) * safety * h_min / v_max
+    Ok((try_courant_limit(order, dims)? as f32) * safety * h_min / v_max)
+}
+
+/// [`try_stable_dt`] for fixed-order call sites (the drivers all pass the
+/// literal workspace order 8); panics on unsupported orders.
+pub fn stable_dt(order: usize, dims: usize, v_max: f32, h_min: f32, safety: f32) -> f32 {
+    try_stable_dt(order, dims, v_max, h_min, safety).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Number of grid points per minimum wavelength for dispersion control.
@@ -67,6 +85,19 @@ mod tests {
     #[should_panic]
     fn stable_dt_rejects_zero_velocity() {
         stable_dt(8, 2, 0.0, 10.0, 0.9);
+    }
+
+    /// Unsupported orders surface as the typed error through the CFL
+    /// helpers instead of a panic deep in the coefficient table.
+    #[test]
+    fn unsupported_order_propagates() {
+        assert!(try_courant_limit(5, 2).is_err());
+        let e = try_stable_dt(12, 3, 2000.0, 10.0, 0.9).unwrap_err();
+        assert_eq!(e.order, 12);
+        assert_eq!(
+            try_stable_dt(8, 2, 2000.0, 10.0, 0.9).unwrap(),
+            stable_dt(8, 2, 2000.0, 10.0, 0.9)
+        );
     }
 
     #[test]

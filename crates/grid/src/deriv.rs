@@ -4,9 +4,19 @@
 //! loops used by the test-suite to validate the fused production kernels in
 //! `seismic-prop`, and by small-scale experiments. They read the halo, so the
 //! caller must have applied boundary conditions / ghost exchange first.
+//!
+//! The sweeps are cache-blocked along x (z-rows × x-tiles, tile width from
+//! `exec_host::tile::tiles`). Blocking is bitwise-free: every output point
+//! is written exactly once from inputs that never change during the sweep,
+//! so any iteration order over points produces identical bits — the tuner
+//! affects speed only.
 
 use crate::fd::f32c;
 use crate::{Field2, Field3, STENCIL_HALF};
+use exec_host::tiles;
+
+/// Stencil rows a Laplacian point touches along the slow axes.
+const LAP_ROWS: usize = 2 * STENCIL_HALF + 1;
 
 /// 8th-order Laplacian of `u` into `out` (interior points only), grid
 /// spacings `dx`, `dz`.
@@ -22,15 +32,18 @@ pub fn laplacian2(u: &Field2, out: &mut Field2, dx: f32, dz: f32) {
     let oi = out.as_mut_slice();
     let rdx2 = 1.0 / (dx * dx);
     let rdz2 = 1.0 / (dz * dz);
-    for iz in 0..e.nz {
-        for ix in 0..e.nx {
-            let c = e.idx(ix, iz);
-            let mut lap = f32c::C2[0] * ui[c] * (rdx2 + rdz2);
-            for k in 1..=STENCIL_HALF {
-                lap += f32c::C2[k] * ((ui[c + k] + ui[c - k]) * rdx2);
-                lap += f32c::C2[k] * ((ui[c + k * fnx] + ui[c - k * fnx]) * rdz2);
+    let tiling = tiles(e.nx, 2, LAP_ROWS);
+    for (x0, x1) in tiling.ranges(0, e.nx) {
+        for iz in 0..e.nz {
+            for ix in x0..x1 {
+                let c = e.idx(ix, iz);
+                let mut lap = f32c::C2[0] * ui[c] * (rdx2 + rdz2);
+                for k in 1..=STENCIL_HALF {
+                    lap += f32c::C2[k] * ((ui[c + k] + ui[c - k]) * rdx2);
+                    lap += f32c::C2[k] * ((ui[c + k * fnx] + ui[c - k * fnx]) * rdz2);
+                }
+                oi[c] = lap;
             }
-            oi[c] = lap;
         }
     }
 }
@@ -50,17 +63,20 @@ pub fn laplacian3(u: &Field3, out: &mut Field3, dx: f32, dy: f32, dz: f32) {
     let rdx2 = 1.0 / (dx * dx);
     let rdy2 = 1.0 / (dy * dy);
     let rdz2 = 1.0 / (dz * dz);
-    for iz in 0..e.nz {
-        for iy in 0..e.ny {
-            for ix in 0..e.nx {
-                let c = e.idx(ix, iy, iz);
-                let mut lap = f32c::C2[0] * ui[c] * (rdx2 + rdy2 + rdz2);
-                for k in 1..=STENCIL_HALF {
-                    lap += f32c::C2[k] * ((ui[c + k] + ui[c - k]) * rdx2);
-                    lap += f32c::C2[k] * ((ui[c + k * fnx] + ui[c - k * fnx]) * rdy2);
-                    lap += f32c::C2[k] * ((ui[c + k * fnxy] + ui[c - k * fnxy]) * rdz2);
+    let tiling = tiles(e.nx, 2, LAP_ROWS * LAP_ROWS);
+    for (x0, x1) in tiling.ranges(0, e.nx) {
+        for iz in 0..e.nz {
+            for iy in 0..e.ny {
+                for ix in x0..x1 {
+                    let c = e.idx(ix, iy, iz);
+                    let mut lap = f32c::C2[0] * ui[c] * (rdx2 + rdy2 + rdz2);
+                    for k in 1..=STENCIL_HALF {
+                        lap += f32c::C2[k] * ((ui[c + k] + ui[c - k]) * rdx2);
+                        lap += f32c::C2[k] * ((ui[c + k * fnx] + ui[c - k * fnx]) * rdy2);
+                        lap += f32c::C2[k] * ((ui[c + k * fnxy] + ui[c - k * fnxy]) * rdz2);
+                    }
+                    oi[c] = lap;
                 }
-                oi[c] = lap;
             }
         }
     }
@@ -316,6 +332,28 @@ mod tests {
         assert!((d.get(4, 4, 4) - 4.0).abs() < 1e-4);
         stag_d_forward3(&u, &mut d, Axis::X, 1.0);
         assert!((d.get(4, 4, 4) - 1.0).abs() < 1e-4);
+    }
+
+    /// Forcing a tiny x-tile produces bitwise-identical Laplacians: the
+    /// blocking schedule may only change speed, never bits.
+    #[test]
+    fn tiling_is_bitwise_invariant() {
+        let e = Extent2::new(57, 23, H);
+        let mut u = Field2::zeros(e);
+        for iz in 0..e.full_nz() {
+            for ix in 0..e.full_nx() {
+                let v = ((ix * 31 + iz * 17) % 101) as f32 * 0.013 - 0.5;
+                u.as_mut_slice()[e.raw_idx(ix, iz)] = v;
+            }
+        }
+        exec_host::tile::set_tile_override(0);
+        let mut whole = Field2::zeros(e);
+        laplacian2(&u, &mut whole, 0.7, 1.3);
+        exec_host::tile::set_tile_override(8);
+        let mut tiled = Field2::zeros(e);
+        laplacian2(&u, &mut tiled, 0.7, 1.3);
+        exec_host::tile::set_tile_override(0);
+        assert_eq!(whole.as_slice(), tiled.as_slice());
     }
 
     #[test]

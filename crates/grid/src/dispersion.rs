@@ -9,19 +9,25 @@
 //! wavelength for the same accuracy → smaller grids for the same target
 //! frequency).
 
-use crate::fd::centered_second;
+use crate::fd::{try_centered_second, UnsupportedOrder};
 
 /// Symbol of the centered second-derivative operator at normalised
 /// wavenumber `kh ∈ (0, π]`: the discrete operator maps `exp(i·k·x)` to
 /// `−K̂²·exp(i·k·x)` with `K̂² = −(c₀ + 2·Σ cₖ·cos(k·h·k)) / h²`; this
 /// returns `K̂²·h²` (dimensionless, equals `(kh)²` for a perfect operator).
-pub fn symbol_k2h2(order: usize, kh: f64) -> f64 {
-    let c = centered_second(order);
+pub fn try_symbol_k2h2(order: usize, kh: f64) -> Result<f64, UnsupportedOrder> {
+    let c = try_centered_second(order)?;
     let mut s = c[0];
     for (j, &ck) in c.iter().enumerate().skip(1) {
         s += 2.0 * ck * (kh * j as f64).cos();
     }
-    -s
+    Ok(-s)
+}
+
+/// [`try_symbol_k2h2`] for fixed-order call sites; panics on unsupported
+/// orders.
+pub fn symbol_k2h2(order: usize, kh: f64) -> f64 {
+    try_symbol_k2h2(order, kh).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Ratio of numerical to true phase velocity for a spatial-only

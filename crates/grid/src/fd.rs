@@ -5,36 +5,80 @@
 //! of 8"); lower orders are kept for the convergence-order tests, which verify
 //! that each table really achieves its nominal accuracy.
 
+/// A request for a coefficient table at an order no table exists for.
+///
+/// The supported orders are the even orders 2, 4, 6, 8 — 8 being the
+/// paper's operator. Anything else (odd, zero, or higher than tabulated)
+/// is this error rather than a panic, so config-driven callers (CLI order
+/// flags, CFL helpers) can surface it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedOrder {
+    /// The rejected order.
+    pub order: usize,
+    /// Which operator family the table was requested from.
+    pub operator: &'static str,
+}
+
+impl std::fmt::Display for UnsupportedOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported {} order {} (supported: 2, 4, 6, 8)",
+            self.operator, self.order
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedOrder {}
+
 /// Centered second-derivative coefficients (c\[0\] is the center weight).
 ///
 /// d²u/dx² ≈ (1/h²) · ( c₀·u\[i\] + Σₖ cₖ·(u\[i+k\] + u\[i−k\]) )
-pub fn centered_second(order: usize) -> &'static [f64] {
+pub fn try_centered_second(order: usize) -> Result<&'static [f64], UnsupportedOrder> {
     match order {
-        2 => &[-2.0, 1.0],
-        4 => &[-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0],
-        6 => &[-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0],
-        8 => &[
+        2 => Ok(&[-2.0, 1.0]),
+        4 => Ok(&[-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0]),
+        6 => Ok(&[-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0]),
+        8 => Ok(&[
             -205.0 / 72.0,
             8.0 / 5.0,
             -1.0 / 5.0,
             8.0 / 315.0,
             -1.0 / 560.0,
-        ],
-        _ => panic!("unsupported centered second-derivative order {order}"),
+        ]),
+        _ => Err(UnsupportedOrder {
+            order,
+            operator: "centered second-derivative",
+        }),
     }
+}
+
+/// [`try_centered_second`] for the fixed-order call sites (the workspace
+/// default is the literal 8). Panics on unsupported orders.
+pub fn centered_second(order: usize) -> &'static [f64] {
+    try_centered_second(order).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Centered first-derivative coefficients (antisymmetric; c\[0\] pairs with k=1).
 ///
 /// du/dx ≈ (1/h) · Σₖ cₖ·(u\[i+k\] − u\[i−k\])
-pub fn centered_first(order: usize) -> &'static [f64] {
+pub fn try_centered_first(order: usize) -> Result<&'static [f64], UnsupportedOrder> {
     match order {
-        2 => &[1.0 / 2.0],
-        4 => &[2.0 / 3.0, -1.0 / 12.0],
-        6 => &[3.0 / 4.0, -3.0 / 20.0, 1.0 / 60.0],
-        8 => &[4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0],
-        _ => panic!("unsupported centered first-derivative order {order}"),
+        2 => Ok(&[1.0 / 2.0]),
+        4 => Ok(&[2.0 / 3.0, -1.0 / 12.0]),
+        6 => Ok(&[3.0 / 4.0, -3.0 / 20.0, 1.0 / 60.0]),
+        8 => Ok(&[4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0]),
+        _ => Err(UnsupportedOrder {
+            order,
+            operator: "centered first-derivative",
+        }),
     }
+}
+
+/// [`try_centered_first`] for fixed-order call sites; panics on
+/// unsupported orders.
+pub fn centered_first(order: usize) -> &'static [f64] {
+    try_centered_first(order).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Staggered first-derivative coefficients on a half-offset grid.
@@ -45,19 +89,28 @@ pub fn centered_first(order: usize) -> &'static [f64] {
 /// first-order systems; the paper notes the staggered approach "has the
 /// advantage of accuracy with less computational effort because it allows a
 /// larger grid size".
-pub fn staggered_first(order: usize) -> &'static [f64] {
+pub fn try_staggered_first(order: usize) -> Result<&'static [f64], UnsupportedOrder> {
     match order {
-        2 => &[1.0],
-        4 => &[9.0 / 8.0, -1.0 / 24.0],
-        6 => &[75.0 / 64.0, -25.0 / 384.0, 3.0 / 640.0],
-        8 => &[
+        2 => Ok(&[1.0]),
+        4 => Ok(&[9.0 / 8.0, -1.0 / 24.0]),
+        6 => Ok(&[75.0 / 64.0, -25.0 / 384.0, 3.0 / 640.0]),
+        8 => Ok(&[
             1225.0 / 1024.0,
             -245.0 / 3072.0,
             49.0 / 5120.0,
             -5.0 / 7168.0,
-        ],
-        _ => panic!("unsupported staggered first-derivative order {order}"),
+        ]),
+        _ => Err(UnsupportedOrder {
+            order,
+            operator: "staggered first-derivative",
+        }),
     }
+}
+
+/// [`try_staggered_first`] for fixed-order call sites; panics on
+/// unsupported orders.
+pub fn staggered_first(order: usize) -> &'static [f64] {
+    try_staggered_first(order).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The default 8th-order tables as `f32`, pre-cast for the hot kernels.
@@ -142,6 +195,25 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn odd_order_rejected() {
         centered_second(3);
+    }
+
+    /// The fallible variants return the typed error with the offending
+    /// order and operator family, instead of panicking.
+    #[test]
+    fn unsupported_order_is_a_typed_error() {
+        let e = try_centered_second(3).unwrap_err();
+        assert_eq!(e.order, 3);
+        assert!(e.to_string().contains("centered second-derivative order 3"));
+        let e = try_centered_first(10).unwrap_err();
+        assert_eq!(e.operator, "centered first-derivative");
+        let e = try_staggered_first(0).unwrap_err();
+        assert_eq!(e.order, 0);
+        // Every supported order round-trips through the fallible path.
+        for order in [2, 4, 6, 8] {
+            assert_eq!(try_centered_second(order).unwrap(), centered_second(order));
+            assert_eq!(try_centered_first(order).unwrap(), centered_first(order));
+            assert_eq!(try_staggered_first(order).unwrap(), staggered_first(order));
+        }
     }
 
     /// Empirical convergence check: the 8th-order second derivative of sin(x)

@@ -167,6 +167,17 @@ impl Field2 {
         acc
     }
 
+    /// Overwrite the whole allocation (halo included) from `other` — the
+    /// allocation-free replacement for `clone()` when a recycled field of
+    /// the same extent is at hand (checkpoint slots, arena buffers).
+    pub fn copy_from(&mut self, other: &Field2) {
+        assert_eq!(
+            self.extent, other.extent,
+            "copy_from requires equal extents"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Copy interior values from `other` (same extent), leaving halo alone.
     pub fn copy_interior_from(&mut self, other: &Field2) {
         assert_eq!(self.extent, other.extent);

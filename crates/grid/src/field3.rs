@@ -93,6 +93,17 @@ impl Field3 {
         std::mem::swap(&mut self.data, &mut other.data);
     }
 
+    /// Overwrite the whole allocation (halo included) from `other` — the
+    /// allocation-free replacement for `clone()` when a recycled field of
+    /// the same extent is at hand (snapshot slots, arena buffers).
+    pub fn copy_from(&mut self, other: &Field3) {
+        assert_eq!(
+            self.extent, other.extent,
+            "copy_from requires equal extents"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Maximum absolute interior value.
     pub fn max_abs(&self) -> f32 {
         let mut m = 0.0f32;
@@ -125,6 +136,24 @@ impl Field3 {
         let e = self.extent;
         let e2 = crate::Extent2::new(e.nx, e.nz, e.halo);
         crate::Field2::from_fn(e2, |ix, iz| self.get(ix, iy, iz))
+    }
+
+    /// [`slice_y`](Self::slice_y) into a caller-owned plane without
+    /// allocating. Only the interior is written (halos are left alone), so
+    /// the result matches `slice_y` exactly when `out` started zeroed.
+    pub fn write_slice_y_into(&self, iy: usize, out: &mut crate::Field2) {
+        let e = self.extent;
+        let e2 = out.extent();
+        assert_eq!(
+            (e2.nx, e2.nz, e2.halo),
+            (e.nx, e.nz, e.halo),
+            "plane extent mismatch"
+        );
+        for iz in 0..e.nz {
+            for ix in 0..e.nx {
+                out.set(ix, iz, self.get(ix, iy, iz));
+            }
+        }
     }
 }
 

@@ -34,6 +34,7 @@ pub mod field3;
 pub mod sync_slice;
 
 pub use extent::{Extent2, Extent3};
+pub use fd::UnsupportedOrder;
 pub use field2::Field2;
 pub use field3::Field3;
 pub use sync_slice::SyncSlice;

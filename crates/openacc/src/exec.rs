@@ -16,19 +16,138 @@
 //! `independent`-race verdict with an actual witness.
 
 use crate::access::AccessSet;
+use exec_host::{slab_bounds, GangPool};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Number of host worker threads to use for gang execution.
+/// Upper bound on the gang count — matches the paper's launch
+/// configurations and keeps slab overhead bounded on small grids.
+pub const MAX_GANGS: usize = 16;
+
+/// A rejected `ACC_GANGS` environment value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GangEnvError {
+    /// The raw value that was rejected.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: GangEnvErrorKind,
+}
+
+/// The ways an `ACC_GANGS` value can be invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GangEnvErrorKind {
+    /// Not a base-10 unsigned integer.
+    NotANumber,
+    /// Parsed, but outside `1..=MAX_GANGS`.
+    OutOfRange,
+}
+
+impl std::fmt::Display for GangEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            GangEnvErrorKind::NotANumber => {
+                write!(f, "ACC_GANGS={:?} is not an unsigned integer", self.value)
+            }
+            GangEnvErrorKind::OutOfRange => write!(
+                f,
+                "ACC_GANGS={:?} is outside the supported range 1..={MAX_GANGS}",
+                self.value
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GangEnvError {}
+
+/// Parse an `ACC_GANGS` value: a base-10 integer in `1..=`[`MAX_GANGS`].
+pub fn parse_gangs(raw: &str) -> Result<usize, GangEnvError> {
+    let n: usize = raw.trim().parse().map_err(|_| GangEnvError {
+        value: raw.to_string(),
+        reason: GangEnvErrorKind::NotANumber,
+    })?;
+    if (1..=MAX_GANGS).contains(&n) {
+        Ok(n)
+    } else {
+        Err(GangEnvError {
+            value: raw.to_string(),
+            reason: GangEnvErrorKind::OutOfRange,
+        })
+    }
+}
+
+/// Gang count from the environment or the hardware: an `ACC_GANGS` env var
+/// wins when set (garbage is a typed [`GangEnvError`], never silently
+/// ignored); otherwise one gang per available core, clamped to
+/// `1..=`[`MAX_GANGS`].
+pub fn try_default_gangs() -> Result<usize, GangEnvError> {
+    match std::env::var("ACC_GANGS") {
+        Ok(raw) => parse_gangs(&raw),
+        Err(_) => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, MAX_GANGS)),
+    }
+}
+
+/// Number of host worker threads to use for gang execution. Panics with
+/// the [`GangEnvError`] message if `ACC_GANGS` is set to garbage; use
+/// [`try_default_gangs`] to handle that case.
 pub fn default_gangs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
+    try_default_gangs().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Which host engine executes gang launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The persistent worker pool (`exec_host::GangPool`) — the default.
+    Pooled,
+    /// Per-launch `std::thread::scope` spawns — the legacy engine, kept so
+    /// benches can measure the pool's win through unchanged drivers.
+    Scoped,
+}
+
+static ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Select the gang execution engine process-wide (used by benches; both
+/// engines produce bit-identical results).
+pub fn set_engine(e: Engine) {
+    ENGINE.store(e as u8, Ordering::Relaxed);
+}
+
+/// The currently selected gang execution engine.
+pub fn engine() -> Engine {
+    match ENGINE.load(Ordering::Relaxed) {
+        0 => Engine::Pooled,
+        _ => Engine::Scoped,
+    }
+}
+
+/// Execute one gang launch on the selected engine.
+fn dispatch(n: usize, gangs: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+    match engine() {
+        Engine::Pooled => GangPool::global().run(n, gangs, body),
+        Engine::Scoped => scoped_run(n, gangs, body),
+    }
+}
+
+/// The legacy engine: spawn and join one OS thread per gang, every launch.
+fn scoped_run(n: usize, gangs: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+    std::thread::scope(|s| {
+        for g in 0..gangs {
+            let (z0, z1) = slab_bounds(n, gangs, g);
+            s.spawn(move || body(g, z0, z1));
+        }
+    });
 }
 
 /// Run `body(z0, z1)` over `gangs` contiguous chunks of `[0, n)` in
 /// parallel. The body must only write state owned by its chunk (the
 /// `SyncSlice` discipline of `seismic-grid`).
+///
+/// Launches go through the persistent [`exec_host::GangPool`] (no threads
+/// are spawned per launch, and the steady state allocates nothing); slab
+/// partitioning is the same pure function of `(n, gangs, g)` on every
+/// engine, so results are bit-identical to the sequential sweep.
 pub fn par_slabs<F>(n: usize, gangs: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -42,18 +161,26 @@ where
         body(0, n);
         return;
     }
-    let base = n / gangs;
-    let rem = n % gangs;
-    std::thread::scope(|s| {
-        let body = &body;
-        let mut z = 0usize;
-        for g in 0..gangs {
-            let rows = base + usize::from(g < rem);
-            let (z0, z1) = (z, z + rows);
-            z = z1;
-            s.spawn(move || body(z0, z1));
-        }
-    });
+    dispatch(n, gangs, &|_g, z0, z1| body(z0, z1));
+}
+
+/// [`par_slabs`] forced onto the legacy per-launch `thread::scope` engine,
+/// regardless of the process-wide [`engine`] selection. Benchmarks use
+/// this as the A/B baseline.
+pub fn par_slabs_scoped<F>(n: usize, gangs: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(gangs > 0, "need at least one gang");
+    if n == 0 {
+        return;
+    }
+    let gangs = gangs.min(n);
+    if gangs == 1 {
+        body(0, n);
+        return;
+    }
+    scoped_run(n, gangs, &|_g, z0, z1| body(z0, z1));
 }
 
 /// One recorded memory event: iteration `iter` touched element `elem` of
@@ -241,28 +368,21 @@ where
         return ShadowLog::default();
     }
     let gangs = gangs.min(n);
-    let base = n / gangs;
-    let rem = n % gangs;
-    let per_gang = std::thread::scope(|s| {
-        let body = &body;
-        let mut handles = Vec::with_capacity(gangs);
-        let mut z = 0usize;
-        for g in 0..gangs {
-            let rows = base + usize::from(g < rem);
-            let (z0, z1) = (z, z + rows);
-            z = z1;
-            handles.push(s.spawn(move || {
-                let mut log = GangLog::new(sanitize);
-                body(z0, z1, &mut log);
-                log
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gang panicked"))
-            .collect::<Vec<_>>()
+    // Each gang index is executed exactly once per launch, so each mutex is
+    // uncontended; it only exists to hand the pool a `Sync` body.
+    let logs: Vec<std::sync::Mutex<GangLog>> = (0..gangs)
+        .map(|_| std::sync::Mutex::new(GangLog::new(sanitize)))
+        .collect();
+    dispatch(n, gangs, &|g, z0, z1| {
+        let mut log = logs[g].lock().expect("gang log poisoned");
+        body(z0, z1, &mut log);
     });
-    ShadowLog { per_gang }
+    ShadowLog {
+        per_gang: logs
+            .into_iter()
+            .map(|m| m.into_inner().expect("gang log poisoned"))
+            .collect(),
+    }
 }
 
 /// Execute a declared [`AccessSet`] for real through the gang engine with
@@ -326,6 +446,62 @@ mod tests {
     fn default_gangs_sane() {
         let g = default_gangs();
         assert!((1..=16).contains(&g));
+    }
+
+    #[test]
+    fn parse_gangs_accepts_valid_values() {
+        assert_eq!(parse_gangs("1"), Ok(1));
+        assert_eq!(parse_gangs("8"), Ok(8));
+        assert_eq!(parse_gangs(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_gangs_rejects_garbage_with_typed_error() {
+        for raw in ["", "zero", "4.5", "-2", "0x8"] {
+            let err = parse_gangs(raw).unwrap_err();
+            assert_eq!(err.value, raw);
+            assert_eq!(err.reason, GangEnvErrorKind::NotANumber);
+            assert!(err.to_string().contains("not an unsigned integer"));
+        }
+        for raw in ["0", "17", "4096"] {
+            let err = parse_gangs(raw).unwrap_err();
+            assert_eq!(err.reason, GangEnvErrorKind::OutOfRange);
+            assert!(err.to_string().contains("1..=16"));
+        }
+    }
+
+    /// `ACC_GANGS` overrides the hardware-derived default. The test only
+    /// ever sets in-range values so the concurrent `default_gangs_sane`
+    /// test keeps passing whatever interleaving the runner picks.
+    #[test]
+    fn acc_gangs_env_overrides_default() {
+        std::env::set_var("ACC_GANGS", "7");
+        let got = try_default_gangs();
+        std::env::remove_var("ACC_GANGS");
+        assert_eq!(got, Ok(7));
+        let hw = try_default_gangs().expect("unset env must use hardware");
+        assert!((1..=MAX_GANGS).contains(&hw));
+    }
+
+    /// The legacy engine and the pooled engine produce identical bits.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn scoped_and_pooled_agree() {
+        let n = 97usize;
+        let fill = |slabs: &dyn Fn(usize, usize, &(dyn Fn(usize, usize) + Sync))| {
+            let out: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            slabs(n, 5, &|z0, z1| {
+                for (i, o) in out.iter().enumerate().take(z1).skip(z0) {
+                    o.store(i * 31 + 7, Ordering::Relaxed);
+                }
+            });
+            out.into_iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+        };
+        let pooled = fill(&|n, g, b| par_slabs(n, g, b));
+        let scoped = fill(&|n, g, b| par_slabs_scoped(n, g, b));
+        assert_eq!(pooled, scoped);
     }
 
     /// An out-of-place stencil replays clean: no element is written by one

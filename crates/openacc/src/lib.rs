@@ -25,11 +25,16 @@
 //!   14.3 / 14.6 CUDA-backend differences of Figures 6/7,
 //! * [`exec`] — the host-side execution engine that actually runs the loop
 //!   bodies (gangs = thread slabs over the z-range), so wavefields are
-//!   computed for real while the time is simulated,
+//!   computed for real while the time is simulated. Gang launches run on
+//!   the persistent worker pool of the re-exported [`exec_host`] crate
+//!   (parked threads + fork-join barrier) instead of spawning OS threads
+//!   per launch,
 //! * [`runtime`] — [`runtime::AccRuntime`] tying it all together: launches
 //!   price a kernel via the compiler's [`compiler::KernelPlan`] and the
 //!   roofline model, append to a stream queue, and advance the simulated
 //!   clock; data directives move simulated bytes.
+
+pub use exec_host;
 
 pub mod access;
 pub mod compiler;

@@ -54,6 +54,18 @@ impl Ac2State {
         }
     }
 
+    /// Overwrite every field from `other` without allocating (extents must
+    /// match) — the arena-reuse path for checkpoints and retries.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.p.copy_from(&other.p);
+        self.qx.copy_from(&other.qx);
+        self.qz.copy_from(&other.qz);
+        self.psi_px.copy_from(&other.psi_px);
+        self.psi_pz.copy_from(&other.psi_pz);
+        self.psi_qx.copy_from(&other.psi_qx);
+        self.psi_qz.copy_from(&other.psi_qz);
+    }
+
     /// Advance one full time step (velocity phase then pressure phase)
     /// sequentially over the whole interior.
     pub fn step(&mut self, model: &AcousticModel2, cpml: &[CpmlAxis; 2]) {

@@ -61,6 +61,21 @@ impl Ac3State {
         }
     }
 
+    /// Overwrite every field from `other` without allocating (extents must
+    /// match) — the arena-reuse path for checkpoints and retries.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.p.copy_from(&other.p);
+        self.qx.copy_from(&other.qx);
+        self.qy.copy_from(&other.qy);
+        self.qz.copy_from(&other.qz);
+        self.psi_px.copy_from(&other.psi_px);
+        self.psi_py.copy_from(&other.psi_py);
+        self.psi_pz.copy_from(&other.psi_pz);
+        self.psi_qx.copy_from(&other.psi_qx);
+        self.psi_qy.copy_from(&other.psi_qy);
+        self.psi_qz.copy_from(&other.psi_qz);
+    }
+
     /// Advance one time step sequentially (velocity phase, then the fused or
     /// fissioned pressure phase).
     pub fn step(&mut self, model: &AcousticModel3, cpml: &[CpmlAxis; 3], variant: FissionVariant) {

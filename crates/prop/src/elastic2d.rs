@@ -67,6 +67,24 @@ impl El2State {
         }
     }
 
+    /// Overwrite every field from `other` without allocating (extents must
+    /// match) — the arena-reuse path for checkpoints and retries.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.vx.copy_from(&other.vx);
+        self.vz.copy_from(&other.vz);
+        self.sxx.copy_from(&other.sxx);
+        self.szz.copy_from(&other.szz);
+        self.sxz.copy_from(&other.sxz);
+        self.psi_sxx_x.copy_from(&other.psi_sxx_x);
+        self.psi_sxz_z.copy_from(&other.psi_sxz_z);
+        self.psi_sxz_x.copy_from(&other.psi_sxz_x);
+        self.psi_szz_z.copy_from(&other.psi_szz_z);
+        self.psi_vx_x.copy_from(&other.psi_vx_x);
+        self.psi_vz_z.copy_from(&other.psi_vz_z);
+        self.psi_vx_z.copy_from(&other.psi_vx_z);
+        self.psi_vz_x.copy_from(&other.psi_vz_x);
+    }
+
     /// Advance one time step: velocity kernels then stress kernels.
     pub fn step(&mut self, model: &ElasticModel2, cpml: &[CpmlAxis; 2]) {
         let e = self.vx.extent();

@@ -79,6 +79,24 @@ impl El3State {
         }
     }
 
+    /// Overwrite every field from `other` without allocating (extents must
+    /// match) — the arena-reuse path for checkpoints and retries.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.vx.copy_from(&other.vx);
+        self.vy.copy_from(&other.vy);
+        self.vz.copy_from(&other.vz);
+        self.sxx.copy_from(&other.sxx);
+        self.syy.copy_from(&other.syy);
+        self.szz.copy_from(&other.szz);
+        self.sxy.copy_from(&other.sxy);
+        self.sxz.copy_from(&other.sxz);
+        self.syz.copy_from(&other.syz);
+        assert_eq!(self.psi.len(), other.psi.len());
+        for (d, s) in self.psi.iter_mut().zip(other.psi.iter()) {
+            d.copy_from(s);
+        }
+    }
+
     /// Advance one time step: three velocity kernels, then three stress
     /// kernels.
     pub fn step(&mut self, model: &ElasticModel3, cpml: &[CpmlAxis; 3]) {

@@ -12,6 +12,7 @@
 //! "PML everywhere" — which is what the GPU mapping model prices.
 
 use crate::IsoPmlVariant;
+use exec_host::tiles;
 use seismic_grid::fd::f32c;
 use seismic_grid::{Extent2, Field2, SyncSlice, STENCIL_HALF};
 use seismic_model::IsoModel2;
@@ -71,6 +72,14 @@ impl Iso2State {
         let vp = model.vp.get(ix, iz);
         let v = self.u_cur.get(ix, iz) + dt * dt * vp * vp * f;
         self.u_cur.set(ix, iz, v);
+    }
+
+    /// Overwrite this state from `other` without allocating (both time
+    /// levels; extents must match). Checkpoint/restart and arena reuse go
+    /// through this instead of `clone()`.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.u_prev.copy_from(&other.u_prev);
+        self.u_cur.copy_from(&other.u_cur);
     }
 }
 
@@ -156,18 +165,25 @@ pub fn step_slab(
     let rdx2 = 1.0 / (dx * dx);
     let rdz2 = 1.0 / (dz * dz);
     let w = damp_x.width();
+    // x-tile × z-row blocking: keeps the vertical stencil neighbors of a
+    // tile resident across rows on wide grids. Point updates are
+    // independent, so the schedule is bitwise-free (single tile on small
+    // grids — the exact original loop).
+    let tiling = tiles(e.nx, 3, 2 * STENCIL_HALF + 1);
 
     match variant {
         IsoPmlVariant::OriginalIfs => {
             // The paper's original kernel: one loop nest, per-point branch.
-            for iz in z0..z1 {
-                for ix in 0..e.nx {
-                    let c = e.idx(ix, iz);
-                    if damp_x.in_layer(ix) || damp_z.in_layer(iz) {
-                        let sigma = damp_x.sigma(ix) + damp_z.sigma(iz);
-                        damped_update(&u, u_cur, vp, c, fnx, dt, dt2, rdx2, rdz2, sigma);
-                    } else {
-                        plain_update(&u, u_cur, vp, c, fnx, dt2, rdx2, rdz2);
+            for (x0, x1) in tiling.ranges(0, e.nx) {
+                for iz in z0..z1 {
+                    for ix in x0..x1 {
+                        let c = e.idx(ix, iz);
+                        if damp_x.in_layer(ix) || damp_z.in_layer(iz) {
+                            let sigma = damp_x.sigma(ix) + damp_z.sigma(iz);
+                            damped_update(&u, u_cur, vp, c, fnx, dt, dt2, rdx2, rdz2, sigma);
+                        } else {
+                            plain_update(&u, u_cur, vp, c, fnx, dt2, rdx2, rdz2);
+                        }
                     }
                 }
             }
@@ -204,12 +220,14 @@ pub fn step_slab(
         IsoPmlVariant::PmlEverywhere => {
             // Second approach: evaluate the damped form at every point.
             // σ = 0 in the interior makes this exact (1±0·dt = 1.0).
-            for iz in z0..z1 {
-                let sz = damp_z.sigma(iz);
-                for ix in 0..e.nx {
-                    let sigma = damp_x.sigma(ix) + sz;
-                    let c = e.idx(ix, iz);
-                    damped_update(&u, u_cur, vp, c, fnx, dt, dt2, rdx2, rdz2, sigma);
+            for (x0, x1) in tiling.ranges(0, e.nx) {
+                for iz in z0..z1 {
+                    let sz = damp_z.sigma(iz);
+                    for ix in x0..x1 {
+                        let sigma = damp_x.sigma(ix) + sz;
+                        let c = e.idx(ix, iz);
+                        damped_update(&u, u_cur, vp, c, fnx, dt, dt2, rdx2, rdz2, sigma);
+                    }
                 }
             }
         }

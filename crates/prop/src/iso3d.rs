@@ -5,6 +5,7 @@
 //! modeling case specifically.
 
 use crate::IsoPmlVariant;
+use exec_host::tiles;
 use seismic_grid::fd::f32c;
 use seismic_grid::{Extent3, Field3, SyncSlice, STENCIL_HALF};
 use seismic_model::IsoModel3;
@@ -55,6 +56,13 @@ impl Iso3State {
         let v = self.u_cur.get(ix, iy, iz) + dt * dt * vp * vp * f;
         self.u_cur.set(ix, iy, iz, v);
     }
+
+    /// Overwrite this state from `other` without allocating (both time
+    /// levels; extents must match).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.u_prev.copy_from(&other.u_prev);
+        self.u_cur.copy_from(&other.u_cur);
+    }
 }
 
 #[inline(always)]
@@ -94,6 +102,9 @@ pub fn step_slab(
     ];
     let [dpx, dpy, dpz] = damp;
     let w = dpx.width();
+    // x-tile blocking over the y/z row sweeps (bitwise-free; single tile
+    // on small grids — see the 2D kernel).
+    let tiling = tiles(e.nx, 3, (2 * STENCIL_HALF + 1) * (2 * STENCIL_HALF + 1));
 
     // Shared per-point bodies; branch structure differs per variant.
     let plain = |c: usize| {
@@ -111,14 +122,16 @@ pub fn step_slab(
 
     match variant {
         IsoPmlVariant::OriginalIfs => {
-            for iz in z0..z1 {
-                for iy in 0..e.ny {
-                    for ix in 0..e.nx {
-                        let c = e.idx(ix, iy, iz);
-                        if dpx.in_layer(ix) || dpy.in_layer(iy) || dpz.in_layer(iz) {
-                            damped(c, dpx.sigma(ix) + dpy.sigma(iy) + dpz.sigma(iz));
-                        } else {
-                            plain(c);
+            for (x0, x1) in tiling.ranges(0, e.nx) {
+                for iz in z0..z1 {
+                    for iy in 0..e.ny {
+                        for ix in x0..x1 {
+                            let c = e.idx(ix, iy, iz);
+                            if dpx.in_layer(ix) || dpy.in_layer(iy) || dpz.in_layer(iz) {
+                                damped(c, dpx.sigma(ix) + dpy.sigma(iy) + dpz.sigma(iz));
+                            } else {
+                                plain(c);
+                            }
                         }
                     }
                 }
@@ -153,13 +166,15 @@ pub fn step_slab(
             }
         }
         IsoPmlVariant::PmlEverywhere => {
-            for iz in z0..z1 {
-                let sz = dpz.sigma(iz);
-                for iy in 0..e.ny {
-                    let sy = dpy.sigma(iy);
-                    for ix in 0..e.nx {
-                        let c = e.idx(ix, iy, iz);
-                        damped(c, dpx.sigma(ix) + sy + sz);
+            for (x0, x1) in tiling.ranges(0, e.nx) {
+                for iz in z0..z1 {
+                    let sz = dpz.sigma(iz);
+                    for iy in 0..e.ny {
+                        let sy = dpy.sigma(iy);
+                        for ix in x0..x1 {
+                            let c = e.idx(ix, iy, iz);
+                            damped(c, dpx.sigma(ix) + sy + sz);
+                        }
                     }
                 }
             }

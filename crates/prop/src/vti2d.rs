@@ -46,6 +46,15 @@ impl Vti2State {
         }
     }
 
+    /// Overwrite every field from `other` without allocating (extents must
+    /// match) — the arena-reuse path for checkpoints and retries.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.p_prev.copy_from(&other.p_prev);
+        self.p_cur.copy_from(&other.p_cur);
+        self.q_prev.copy_from(&other.q_prev);
+        self.q_cur.copy_from(&other.q_cur);
+    }
+
     /// Advance one time step and swap both field pairs.
     pub fn step(&mut self, model: &VtiModel2, damp_x: &DampProfile, damp_z: &DampProfile) {
         let e = self.p_cur.extent();
