@@ -79,6 +79,12 @@ impl Histogram {
 /// `kernels_launched`, `bytes_h2d`, `bytes_d2h`, `halo_bytes`,
 /// `halo_exchanges`, `shot_retries`, `checkpoint_bytes`,
 /// `checkpoints_written`, `checkpoints_restored`, `ranks_blacklisted`.
+/// The job server (`acc-serve`) adds the gauges `queue_depth`,
+/// `queue_cost_s`, `shed_rate`, and `brownout`, the counters
+/// `jobs_submitted`, `jobs_admitted`, `jobs_completed`, `jobs_shed`,
+/// `jobs_rejected`, `jobs_cancelled_deadline`, `breaker_opened`,
+/// `breaker_half_open`, `breaker_closed`, and the `job_latency_s` /
+/// `job_wait_s` histograms.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, u64>>,

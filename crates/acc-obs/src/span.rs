@@ -14,6 +14,9 @@ pub enum Track {
     DeviceStream(u32),
     /// One simulated MPI rank (halo exchanges, shot scheduling).
     MpiRank(u32),
+    /// One fleet device of the job server (`acc-serve`): shot execution,
+    /// backoff sleeps, and circuit-breaker transitions.
+    Service(u32),
 }
 
 impl Track {
@@ -23,6 +26,7 @@ impl Track {
             Track::Host => "host".to_string(),
             Track::DeviceStream(s) => format!("stream {s}"),
             Track::MpiRank(r) => format!("rank {r}"),
+            Track::Service(d) => format!("serve dev {d}"),
         }
     }
 }
@@ -49,6 +53,8 @@ pub enum SpanCat {
     Checkpoint,
     /// Resilience event (retry backoff, blacklist, reschedule).
     Resilience,
+    /// Job-server event (shot dispatch, shed, breaker transition).
+    Service,
 }
 
 impl SpanCat {
@@ -64,6 +70,7 @@ impl SpanCat {
             SpanCat::Phase => "phase",
             SpanCat::Checkpoint => "checkpoint",
             SpanCat::Resilience => "resilience",
+            SpanCat::Service => "service",
         }
     }
 }
@@ -135,6 +142,7 @@ mod tests {
         assert_eq!(Track::Host.label(), "host");
         assert_eq!(Track::DeviceStream(3).label(), "stream 3");
         assert_eq!(Track::MpiRank(7).label(), "rank 7");
+        assert_eq!(Track::Service(2).label(), "serve dev 2");
     }
 
     #[test]

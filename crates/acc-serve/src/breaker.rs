@@ -1,0 +1,268 @@
+//! Per-device circuit breakers.
+//!
+//! A device whose allocations keep transiently failing burns queue time
+//! on every retry loop it loses. Permanent blacklisting (PR 1's answer)
+//! is wrong for *transient* pathologies — a driver hiccup or a neighbor
+//! job thrashing the device clears up. The breaker gives the middle
+//! ground: after `failure_threshold` consecutive shot-level failures the
+//! device **opens** for `cooldown_s` of simulated time (no dispatch),
+//! then **half-opens** and admits a limited number of probe shots; probe
+//! success re-**closes** it, probe failure re-opens it for another
+//! cooldown. Every transition is logged and (when observing) counted and
+//! placed on the device's service track.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive shot-level failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker blocks dispatch, simulated seconds.
+    pub cooldown_s: f64,
+    /// Probe successes required to close from half-open.
+    pub probe_shots: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_s: 30.0,
+            probe_shots: 1,
+        }
+    }
+}
+
+/// Breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: dispatch freely; counts consecutive failures.
+    Closed {
+        /// Consecutive shot-level failures so far.
+        consecutive_failures: u32,
+    },
+    /// Tripped: no dispatch until `until_s`.
+    Open {
+        /// When the breaker half-opens.
+        until_s: f64,
+    },
+    /// Probing: dispatch allowed; counts probe successes.
+    HalfOpen {
+        /// Probe successes so far.
+        successes: u32,
+    },
+}
+
+/// One logged transition, for the report and the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerTransition {
+    /// Device the breaker guards.
+    pub device: usize,
+    /// Transition time, simulated seconds.
+    pub at_s: f64,
+    /// State entered: `"open"`, `"half_open"`, or `"closed"`.
+    pub to: &'static str,
+}
+
+/// Circuit breaker for one device.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl Breaker {
+    /// New breaker, closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May the device take a shot at `t_s`? Moves Open → HalfOpen when
+    /// the cooldown has elapsed (recorded via the returned transition).
+    pub fn available(&mut self, device: usize, t_s: f64) -> (bool, Option<BreakerTransition>) {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen { .. } => (true, None),
+            BreakerState::Open { until_s } => {
+                if t_s >= until_s {
+                    self.state = BreakerState::HalfOpen { successes: 0 };
+                    (
+                        true,
+                        Some(BreakerTransition {
+                            device,
+                            at_s: t_s,
+                            to: "half_open",
+                        }),
+                    )
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Earliest future time dispatch could resume (None when not open).
+    pub fn reopen_at(&self) -> Option<f64> {
+        match self.state {
+            BreakerState::Open { until_s } => Some(until_s),
+            _ => None,
+        }
+    }
+
+    /// Record a shot-level success at `t_s`.
+    pub fn record_success(&mut self, device: usize, t_s: f64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } if consecutive_failures > 0 => {
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+                None
+            }
+            BreakerState::HalfOpen { successes } => {
+                let successes = successes + 1;
+                if successes >= self.cfg.probe_shots {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: 0,
+                    };
+                    Some(BreakerTransition {
+                        device,
+                        at_s: t_s,
+                        to: "closed",
+                    })
+                } else {
+                    self.state = BreakerState::HalfOpen { successes };
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a shot-level failure (retry budget exhausted) at `t_s`.
+    pub fn record_failure(&mut self, device: usize, t_s: f64) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures + 1;
+                if fails >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until_s: t_s + self.cfg.cooldown_s,
+                    };
+                    Some(BreakerTransition {
+                        device,
+                        at_s: t_s,
+                        to: "open",
+                    })
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: fails,
+                    };
+                    None
+                }
+            }
+            BreakerState::HalfOpen { .. } => {
+                // A failed probe re-opens immediately.
+                self.state = BreakerState::Open {
+                    until_s: t_s + self.cfg.cooldown_s,
+                };
+                Some(BreakerTransition {
+                    device,
+                    at_s: t_s,
+                    to: "open",
+                })
+            }
+            BreakerState::Open { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown_s: 10.0,
+            probe_shots: 1,
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new(cfg());
+        assert!(b.record_failure(0, 1.0).is_none());
+        let t = b.record_failure(0, 2.0).expect("second failure opens");
+        assert_eq!(t.to, "open");
+        assert_eq!(b.reopen_at(), Some(12.0));
+        assert!(!b.available(0, 5.0).0, "open blocks dispatch");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::new(cfg());
+        b.record_failure(0, 1.0);
+        b.record_success(0, 2.0);
+        assert!(
+            b.record_failure(0, 3.0).is_none(),
+            "streak restarted after success"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = Breaker::new(cfg());
+        b.record_failure(0, 0.0);
+        b.record_failure(0, 1.0);
+        // Cooldown elapses → half-open.
+        let (ok, tr) = b.available(0, 11.5);
+        assert!(ok);
+        assert_eq!(tr.unwrap().to, "half_open");
+        let t = b.record_success(0, 12.0).expect("probe success closes");
+        assert_eq!(t.to, "closed");
+        assert!(matches!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = Breaker::new(cfg());
+        b.record_failure(0, 0.0);
+        b.record_failure(0, 1.0);
+        b.available(0, 11.0);
+        let t = b.record_failure(0, 11.5).expect("failed probe reopens");
+        assert_eq!(t.to, "open");
+        assert_eq!(b.reopen_at(), Some(21.5));
+    }
+
+    #[test]
+    fn multi_probe_close_needs_all_successes() {
+        let mut b = Breaker::new(BreakerConfig {
+            probe_shots: 2,
+            ..cfg()
+        });
+        b.record_failure(0, 0.0);
+        b.record_failure(0, 1.0);
+        b.available(0, 11.0);
+        assert!(
+            b.record_success(0, 12.0).is_none(),
+            "first probe not enough"
+        );
+        assert_eq!(b.record_success(0, 13.0).unwrap().to, "closed");
+    }
+}

@@ -1,0 +1,239 @@
+//! Resumable queue snapshots for graceful drain.
+//!
+//! A drain must not lose admitted work: everything not finished when the
+//! drain fires — queued jobs and partially-completed jobs — is persisted
+//! as a [`QueueSnapshot`]. The snapshot keeps each completed shot's image
+//! as raw `f32` bit patterns (`u32` words), so a resumed server stacks
+//! *exactly* the bits the first run computed and only recomputes the
+//! remaining shots; the final stacked image is bitwise identical to an
+//! uninterrupted run. Physics payloads (earth models, acquisitions) are
+//! deliberately **not** serialized — resume takes the original scenario
+//! alongside the snapshot and rebinds payloads by submission index.
+
+use seismic_grid::{Extent2, Field2};
+use serde_json::Value;
+
+/// One completed shot's image, as stored bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedShot {
+    /// Shot index within the job.
+    pub shot: usize,
+    /// Image extent (empty image for synthetic payloads).
+    pub nx: usize,
+    /// Interior z size.
+    pub nz: usize,
+    /// Halo width.
+    pub halo: usize,
+    /// `f32::to_bits` of every image sample, storage order.
+    pub bits: Vec<u32>,
+}
+
+impl CompletedShot {
+    /// Capture a real image.
+    pub fn from_field(shot: usize, img: &Field2) -> Self {
+        let e = img.extent();
+        Self {
+            shot,
+            nx: e.nx,
+            nz: e.nz,
+            halo: e.halo,
+            bits: img.as_slice().iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+
+    /// Record a synthetic (image-less) completion.
+    pub fn synthetic(shot: usize) -> Self {
+        Self {
+            shot,
+            nx: 0,
+            nz: 0,
+            halo: 0,
+            bits: Vec::new(),
+        }
+    }
+
+    /// Rebuild the image (None for synthetic records).
+    pub fn to_field(&self) -> Option<Field2> {
+        if self.bits.is_empty() {
+            return None;
+        }
+        let mut f = Field2::zeros(Extent2::new(self.nx, self.nz, self.halo));
+        for (d, &b) in f.as_mut_slice().iter_mut().zip(self.bits.iter()) {
+            *d = f32::from_bits(b);
+        }
+        Some(f)
+    }
+}
+
+/// One unfinished job at drain time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapJob {
+    /// Index into the original scenario's submission list.
+    pub sub_idx: usize,
+    /// Shot indices still to run, dispatch order.
+    pub remaining: Vec<usize>,
+    /// Shots already completed, with their image bits.
+    pub completed: Vec<CompletedShot>,
+    /// True when any completed shot ran under brown-out relief.
+    pub degraded: bool,
+}
+
+/// Everything needed to resume a drained server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSnapshot {
+    /// When the drain fired, simulated seconds. Resume starts its clock
+    /// here.
+    pub drained_at_s: f64,
+    /// Unfinished jobs, admission order.
+    pub jobs: Vec<SnapJob>,
+}
+
+impl QueueSnapshot {
+    /// Serialize to the snapshot JSON document.
+    pub fn to_json(&self) -> Value {
+        let mut doc = serde_json::Map::new();
+        doc.insert("drained_at_s", self.drained_at_s);
+        let jobs: Vec<Value> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut o = serde_json::Map::new();
+                o.insert("sub_idx", j.sub_idx);
+                o.insert(
+                    "remaining",
+                    j.remaining
+                        .iter()
+                        .map(|&s| Value::from(s))
+                        .collect::<Vec<Value>>(),
+                );
+                o.insert("degraded", j.degraded);
+                let done: Vec<Value> = j
+                    .completed
+                    .iter()
+                    .map(|c| {
+                        let mut co = serde_json::Map::new();
+                        co.insert("shot", c.shot);
+                        co.insert("nx", c.nx);
+                        co.insert("nz", c.nz);
+                        co.insert("halo", c.halo);
+                        co.insert(
+                            "bits",
+                            c.bits
+                                .iter()
+                                .map(|&b| Value::from(b))
+                                .collect::<Vec<Value>>(),
+                        );
+                        Value::Object(co)
+                    })
+                    .collect();
+                o.insert("completed", done);
+                Value::Object(o)
+            })
+            .collect();
+        doc.insert("jobs", jobs);
+        Value::Object(doc)
+    }
+
+    /// Parse a snapshot document (errors name the missing field).
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let num = |v: &Value, k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("snapshot missing numeric field `{k}`"))
+        };
+        let drained_at_s = v
+            .get("drained_at_s")
+            .and_then(|x| x.as_f64())
+            .ok_or("snapshot missing `drained_at_s`")?;
+        let jobs = v
+            .get("jobs")
+            .and_then(|x| x.as_array())
+            .ok_or("snapshot missing `jobs`")?
+            .iter()
+            .map(|j| {
+                let remaining = j
+                    .get("remaining")
+                    .and_then(|x| x.as_array())
+                    .ok_or("job missing `remaining`")?
+                    .iter()
+                    .map(|s| s.as_u64().map(|u| u as usize).ok_or("bad shot index"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let completed = j
+                    .get("completed")
+                    .and_then(|x| x.as_array())
+                    .ok_or("job missing `completed`")?
+                    .iter()
+                    .map(|c| {
+                        let bits = c
+                            .get("bits")
+                            .and_then(|x| x.as_array())
+                            .ok_or("completed shot missing `bits`")?
+                            .iter()
+                            .map(|b| {
+                                b.as_u64()
+                                    .map(|u| u as u32)
+                                    .ok_or_else(|| "bad image word".to_string())
+                            })
+                            .collect::<Result<Vec<_>, String>>()?;
+                        Ok(CompletedShot {
+                            shot: num(c, "shot")? as usize,
+                            nx: num(c, "nx")? as usize,
+                            nz: num(c, "nz")? as usize,
+                            halo: num(c, "halo")? as usize,
+                            bits,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(SnapJob {
+                    sub_idx: num(j, "sub_idx")? as usize,
+                    remaining,
+                    completed,
+                    degraded: j
+                        .get("degraded")
+                        .and_then(|x| x.as_bool())
+                        .ok_or("job missing `degraded`")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { drained_at_s, jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json_bit_exact() {
+        let mut img = Field2::zeros(Extent2::new(3, 2, 1));
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            // Include a subnormal and a negative to stress bit fidelity.
+            *v = if i == 0 { 1e-42 } else { -(i as f32) * 0.37 };
+        }
+        let snap = QueueSnapshot {
+            drained_at_s: 12.75,
+            jobs: vec![SnapJob {
+                sub_idx: 4,
+                remaining: vec![2, 3],
+                completed: vec![
+                    CompletedShot::from_field(0, &img),
+                    CompletedShot::synthetic(1),
+                ],
+                degraded: true,
+            }],
+        };
+        let text = serde_json::to_string(&snap.to_json());
+        let back = QueueSnapshot::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        let rebuilt = back.jobs[0].completed[0].to_field().unwrap();
+        assert_eq!(rebuilt.as_slice(), img.as_slice(), "bitwise image identity");
+        assert!(back.jobs[0].completed[1].to_field().is_none());
+    }
+
+    #[test]
+    fn from_json_names_missing_fields() {
+        let doc = serde_json::from_str("{\"jobs\": []}").unwrap();
+        let err = QueueSnapshot::from_json(&doc).unwrap_err();
+        assert!(err.contains("drained_at_s"), "{err}");
+    }
+}

@@ -303,6 +303,153 @@ impl FaultPlan {
     }
 }
 
+/// The fault queries a retry/scheduling loop needs, abstracted over the
+/// plan shape: a single-node [`FaultPlan`] or a multi-node
+/// [`FleetFaultPlan`] answer them identically, so the resilient executor
+/// and the job server share one retry loop.
+pub trait FaultView {
+    /// Devices covered.
+    fn n_devices(&self) -> usize;
+    /// Seed the plan was generated from (salts deterministic jitter).
+    fn seed(&self) -> u64;
+    /// When (if ever) `device` becomes permanently unusable.
+    fn device_lost_at(&self, device: usize) -> Option<SimTime>;
+    /// Does the `seq`-th allocation on `device` transiently fail?
+    fn alloc_fails(&self, device: usize, seq: u64) -> bool;
+    /// Multiplicative slowdown on `device` at `t_s` (1.0 = healthy).
+    fn slowdown(&self, device: usize, t_s: SimTime) -> f64;
+
+    /// True when `device` is already lost at time `t_s`.
+    fn device_lost(&self, device: usize, t_s: SimTime) -> bool {
+        self.device_lost_at(device).is_some_and(|lost| lost <= t_s)
+    }
+}
+
+impl FaultView for FaultPlan {
+    fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+    fn device_lost_at(&self, device: usize) -> Option<SimTime> {
+        FaultPlan::device_lost_at(self, device)
+    }
+    fn alloc_fails(&self, device: usize, seq: u64) -> bool {
+        FaultPlan::alloc_fails(self, device, seq)
+    }
+    fn slowdown(&self, device: usize, t_s: SimTime) -> f64 {
+        FaultPlan::slowdown(self, device, t_s)
+    }
+}
+
+const SALT_NODE_LOST: u64 = 6;
+
+/// A fleet of nodes, each holding `devices_per_node` devices with its own
+/// per-device [`FaultPlan`], plus *correlated* whole-node losses (a PSU or
+/// fabric switch failure takes every device on the node down at once) —
+/// the failure mode single-node plans cannot express. Devices are indexed
+/// globally: device `d` lives on node `d / devices_per_node`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetFaultPlan {
+    nodes: Vec<FaultPlan>,
+    devices_per_node: usize,
+    node_lost_at: Vec<Option<SimTime>>,
+    seed: u64,
+}
+
+impl FleetFaultPlan {
+    /// Generate a fleet plan: per-node device plans are derived from
+    /// `seed` with distinct sub-seeds, and whole-node losses arrive with
+    /// mean `node_lost_mtti_s` (infinite disables them). Deterministic.
+    pub fn generate(
+        seed: u64,
+        n_nodes: usize,
+        devices_per_node: usize,
+        horizon_s: SimTime,
+        rates: FaultRates,
+        node_lost_mtti_s: f64,
+    ) -> Self {
+        let nodes: Vec<FaultPlan> = (0..n_nodes)
+            .map(|n| {
+                let sub = mix(seed, SALT_NODE_LOST, n as u64, 0x5eed);
+                FaultPlan::generate(sub, devices_per_node, horizon_s, rates)
+            })
+            .collect();
+        let node_lost_at = (0..n_nodes)
+            .map(|n| {
+                arrivals(seed, SALT_NODE_LOST, n, node_lost_mtti_s, horizon_s)
+                    .first()
+                    .copied()
+            })
+            .collect();
+        Self {
+            nodes,
+            devices_per_node,
+            node_lost_at,
+            seed,
+        }
+    }
+
+    /// Wrap a single [`FaultPlan`] as a one-node fleet (no correlated
+    /// losses beyond what the plan already schedules).
+    pub fn single(plan: FaultPlan) -> Self {
+        let seed = plan.seed();
+        let devices_per_node = plan.n_devices();
+        Self {
+            nodes: vec![plan],
+            devices_per_node,
+            node_lost_at: vec![None],
+            seed,
+        }
+    }
+
+    /// Node hosting global device `d`.
+    pub fn node_of(&self, device: usize) -> usize {
+        device / self.devices_per_node.max(1)
+    }
+
+    /// When (if ever) the whole node `n` is lost.
+    pub fn node_lost_at(&self, node: usize) -> Option<SimTime> {
+        self.node_lost_at.get(node).copied().flatten()
+    }
+
+    /// Devices never lost (individually or via their node).
+    pub fn surviving_devices(&self) -> Vec<usize> {
+        (0..self.n_devices())
+            .filter(|&d| FaultView::device_lost_at(self, d).is_none())
+            .collect()
+    }
+}
+
+impl FaultView for FleetFaultPlan {
+    fn n_devices(&self) -> usize {
+        self.nodes.len() * self.devices_per_node
+    }
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+    fn device_lost_at(&self, device: usize) -> Option<SimTime> {
+        let node = self.node_of(device);
+        let local = device % self.devices_per_node.max(1);
+        let own = self.nodes.get(node)?.device_lost_at(local);
+        match (own, self.node_lost_at(node)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+    fn alloc_fails(&self, device: usize, seq: u64) -> bool {
+        let node = self.node_of(device);
+        let local = device % self.devices_per_node.max(1);
+        self.nodes[node].alloc_fails(local, seq)
+    }
+    fn slowdown(&self, device: usize, t_s: SimTime) -> f64 {
+        let node = self.node_of(device);
+        let local = device % self.devices_per_node.max(1);
+        self.nodes[node].slowdown(local, t_s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +529,54 @@ mod tests {
             .expect("straggler scheduled");
         assert_eq!(p.slowdown(w.device, w.t_s + 1.0), 3.0);
         assert_eq!(p.slowdown(w.device, w.t_s - 1e-3), 1.0);
+    }
+
+    #[test]
+    fn fleet_plan_correlates_node_losses() {
+        let rates = FaultRates {
+            transient_oom_prob: 0.05,
+            ..FaultRates::none()
+        };
+        // Node losses only: every device on a lost node dies at the same
+        // instant, devices on surviving nodes never do.
+        for seed in 0..200u64 {
+            let f = FleetFaultPlan::generate(seed, 3, 4, 1000.0, rates, 800.0);
+            assert_eq!(f.n_devices(), 12);
+            let lost_nodes: Vec<usize> = (0..3).filter(|&n| f.node_lost_at(n).is_some()).collect();
+            if lost_nodes.is_empty() || lost_nodes.len() == 3 {
+                continue;
+            }
+            for n in 0..3 {
+                for local in 0..4 {
+                    let d = n * 4 + local;
+                    assert_eq!(f.node_of(d), n);
+                    assert_eq!(FaultView::device_lost_at(&f, d), f.node_lost_at(n));
+                }
+            }
+            // Deterministic and distinct per seed.
+            assert_eq!(
+                f,
+                FleetFaultPlan::generate(seed, 3, 4, 1000.0, rates, 800.0)
+            );
+            return;
+        }
+        panic!("no seed with a partial node loss");
+    }
+
+    #[test]
+    fn fleet_single_matches_plan() {
+        let rates = FaultRates::harsh(500.0);
+        let p = FaultPlan::generate(9, 3, 2000.0, rates);
+        let f = FleetFaultPlan::single(p.clone());
+        assert_eq!(f.n_devices(), 3);
+        for d in 0..3 {
+            assert_eq!(FaultView::device_lost_at(&f, d), p.device_lost_at(d));
+            for seq in [0u64, 5, 17] {
+                assert_eq!(FaultView::alloc_fails(&f, d, seq), p.alloc_fails(d, seq));
+            }
+            assert_eq!(FaultView::slowdown(&f, d, 123.0), p.slowdown(d, 123.0));
+        }
+        assert_eq!(f.surviving_devices(), p.surviving_devices());
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub enum RtmError {
     /// Every rank in the cluster has been blacklisted; the survey cannot
     /// make progress.
     NoHealthyRanks,
+    /// A survey schedule or result-collection invariant was violated
+    /// (empty work queue popped, a shot with no image, a missing collector
+    /// rank) — the submission is rejected as malformed instead of
+    /// panicking a worker thread.
+    MalformedPlan(String),
     /// An emitted observability artifact failed its self-validation
     /// (malformed trace JSON, overlapping timeline spans).
     Observability(String),
@@ -69,6 +74,7 @@ impl fmt::Display for RtmError {
                 write!(f, "no replayed snapshot for step {step}")
             }
             RtmError::NoHealthyRanks => write!(f, "all ranks blacklisted"),
+            RtmError::MalformedPlan(what) => write!(f, "malformed survey plan: {what}"),
             RtmError::Observability(msg) => write!(f, "observability artifact invalid: {msg}"),
         }
     }

@@ -35,7 +35,7 @@ use crate::multi_gpu::{modeling_time_multi, CommMode, GhostPacking, MultiGpuTimi
 use crate::rtm::{migrate_shot, mute_direct, run_rtm, RtmResult};
 use crate::shot_parallel::{shots_for_rank, Shot};
 use acc_obs::{ObsSession, Span, SpanCat, Track};
-use accel_sim::fault::FaultPlan;
+use accel_sim::fault::{FaultPlan, FaultView};
 use bytes::Bytes;
 use mpi_sim::comm::Communicator;
 use openacc_sim::Compiler;
@@ -80,15 +80,47 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Doublings after which the un-jittered delay is clamped: `2^52` keeps
+/// `base · 2^a` finite for any base below `~4e255`, and any realistic cap
+/// is reached orders of magnitude earlier.
+const MAX_BACKOFF_DOUBLINGS: u32 = 52;
+
 impl RetryPolicy {
     /// Delay before retry number `attempt` (0-based), seconds. The jitter
     /// factor lies in `[1, 2)` so the sequence is monotone non-decreasing
     /// (`base·2^(a+1)·1 ≥ base·2^a·2 > base·2^a·jitter`), never exceeds
-    /// `max_delay_s`, and is a pure function of `(seed, attempt)`.
+    /// `max_delay_s`, and is a pure function of `(seed, attempt)`. The
+    /// exponent is clamped (and the raw delay capped *before* the jitter
+    /// multiply) so arbitrarily large attempt counts can never overflow to
+    /// a non-finite delay that would poison the simulated clock.
     pub fn backoff_delay(&self, seed: u64, attempt: u32) -> f64 {
-        let expo = self.base_delay_s * 2f64.powi(attempt.min(60) as i32);
+        let expo = (self.base_delay_s * 2f64.powi(attempt.min(MAX_BACKOFF_DOUBLINGS) as i32))
+            .min(self.max_delay_s);
         let jitter = 1.0 + jitter_unit(seed, 0xBAC0FF, u64::from(attempt));
         (expo * jitter).min(self.max_delay_s)
+    }
+}
+
+/// Cooperative cancellation latch shared between a job's submitter (the
+/// `acc-serve` scheduler) and whatever is executing its shots: cancelling
+/// is one-way and visible across threads.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latch the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Has the token been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
@@ -185,6 +217,207 @@ pub fn optimal_checkpoint_interval(ckpt_cost_s: f64, mtti_s: f64) -> f64 {
         return f64::INFINITY;
     }
     (2.0 * ckpt_cost_s * mtti_s).sqrt()
+}
+
+/// One timeline event produced while attempting a shot, in device-local
+/// simulated time. Callers map these onto observability spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotEvent {
+    /// Event name (`shot`, `backoff`, `shot:lost`, `blacklist:*`,
+    /// `cancel:*`) — stable, used as the span name.
+    pub name: &'static str,
+    /// Event start, simulated seconds.
+    pub start_s: f64,
+    /// Event duration, simulated seconds (0 for point events).
+    pub dur_s: f64,
+}
+
+impl ShotEvent {
+    fn point(name: &'static str, at_s: f64) -> Self {
+        Self {
+            name,
+            start_s: at_s,
+            dur_s: 0.0,
+        }
+    }
+}
+
+/// Terminal state of one shot's retry loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShotOutcome {
+    /// The shot ran to completion.
+    Completed {
+        /// Start of the successful attempt.
+        start_s: f64,
+        /// Duration of the successful attempt (slowdown included).
+        dur_s: f64,
+    },
+    /// The device was (or became) permanently lost; the shot must move.
+    DeviceLost {
+        /// When the loss struck.
+        at_s: f64,
+    },
+    /// Transient failures exhausted the retry budget on this device.
+    RetriesExhausted {
+        /// When the final failing draw happened.
+        at_s: f64,
+    },
+    /// The shot could no longer finish before its deadline and was
+    /// cancelled early, before burning more device time.
+    DeadlineCancelled {
+        /// When the infeasibility was detected.
+        at_s: f64,
+    },
+    /// The job's cancellation token was observed latched.
+    Cancelled {
+        /// When the cancellation was observed.
+        at_s: f64,
+    },
+}
+
+/// Everything one retry loop did: terminal state, the device clock after
+/// the loop, accounting deltas, and the span-able event list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotAttempt {
+    /// Terminal state.
+    pub outcome: ShotOutcome,
+    /// Device clock when the loop ended (start time plus backoff sleeps
+    /// plus executed work).
+    pub end_s: f64,
+    /// Transient-failure draws consumed (the `shot_retries` series).
+    pub retries: u64,
+    /// Seconds slept between retries.
+    pub backoff_s: f64,
+    /// Seconds of partial work lost to a mid-shot device loss.
+    pub wasted_s: f64,
+    /// Timeline events, in order.
+    pub events: Vec<ShotEvent>,
+}
+
+/// The single-shot retry loop shared by [`plan_survey`] and the
+/// `acc-serve` job server: run one shot on `device` starting at
+/// `start_s`, retrying transient allocation failures under `policy` with
+/// deterministic jittered backoff, honouring an optional absolute
+/// deadline (the shot is cancelled as soon as it provably cannot finish
+/// in time — `slowdown ≥ 1`, so `shot_cost_s` is the optimistic duration)
+/// and an optional cooperative [`CancellationToken`]. Pure apart from
+/// `attempt_seq`, which advances by one per transient-failure draw so the
+/// stateless fault process sees a per-device sequence number. With no
+/// deadline and no token this reproduces the PR 1 retry loop exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shot_attempts<F: FaultView>(
+    device: usize,
+    start_s: f64,
+    shot_cost_s: f64,
+    plan: &F,
+    policy: &RetryPolicy,
+    attempt_seq: &mut u64,
+    deadline_s: Option<f64>,
+    cancel: Option<&CancellationToken>,
+) -> ShotAttempt {
+    let mut att = ShotAttempt {
+        outcome: ShotOutcome::Cancelled { at_s: start_s },
+        end_s: start_s,
+        retries: 0,
+        backoff_s: 0.0,
+        wasted_s: 0.0,
+        events: Vec::new(),
+    };
+    let mut t0 = start_s;
+    let mut retries_this_shot = 0u32;
+    loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            att.events.push(ShotEvent::point("cancel:token", t0));
+            att.outcome = ShotOutcome::Cancelled { at_s: t0 };
+            att.end_s = t0;
+            return att;
+        }
+        if plan.device_lost(device, t0) {
+            // Device already gone when the attempt starts.
+            att.events
+                .push(ShotEvent::point("blacklist:device_lost", t0));
+            att.outcome = ShotOutcome::DeviceLost { at_s: t0 };
+            att.end_s = t0;
+            return att;
+        }
+        if let Some(d) = deadline_s {
+            if t0 + shot_cost_s > d {
+                att.events.push(ShotEvent::point("cancel:deadline", t0));
+                att.outcome = ShotOutcome::DeadlineCancelled { at_s: t0 };
+                att.end_s = t0;
+                return att;
+            }
+        }
+        // Transient launch failure (deterministic per (device, seq)).
+        let seq = *attempt_seq;
+        *attempt_seq += 1;
+        if plan.alloc_fails(device, seq) {
+            att.retries += 1;
+            if retries_this_shot >= policy.max_retries {
+                att.events
+                    .push(ShotEvent::point("blacklist:retries_exhausted", t0));
+                att.outcome = ShotOutcome::RetriesExhausted { at_s: t0 };
+                att.end_s = t0;
+                return att;
+            }
+            let delay = policy.backoff_delay(plan.seed() ^ device as u64, retries_this_shot);
+            if let Some(d) = deadline_s {
+                if t0 + delay + shot_cost_s > d {
+                    // Sleeping would already bust the deadline: give up now
+                    // and hand the slot back instead of sleeping into it.
+                    att.events.push(ShotEvent::point("cancel:deadline", t0));
+                    att.outcome = ShotOutcome::DeadlineCancelled { at_s: t0 };
+                    att.end_s = t0;
+                    return att;
+                }
+            }
+            att.events.push(ShotEvent {
+                name: "backoff",
+                start_s: t0,
+                dur_s: delay,
+            });
+            t0 += delay;
+            att.backoff_s += delay;
+            retries_this_shot += 1;
+            continue;
+        }
+        let dur = shot_cost_s * plan.slowdown(device, t0);
+        if let Some(d) = deadline_s {
+            if t0 + dur > d {
+                att.events.push(ShotEvent::point("cancel:deadline", t0));
+                att.outcome = ShotOutcome::DeadlineCancelled { at_s: t0 };
+                att.end_s = t0;
+                return att;
+            }
+        }
+        if let Some(lost) = plan.device_lost_at(device) {
+            if lost < t0 + dur {
+                // Dies mid-shot: the partial work is lost.
+                att.events.push(ShotEvent {
+                    name: "shot:lost",
+                    start_s: t0,
+                    dur_s: lost - t0,
+                });
+                att.events
+                    .push(ShotEvent::point("blacklist:device_lost", lost));
+                att.wasted_s += lost - t0;
+                att.outcome = ShotOutcome::DeviceLost { at_s: lost };
+                att.end_s = lost;
+                return att;
+            }
+        }
+        att.events.push(ShotEvent {
+            name: "shot",
+            start_s: t0,
+            dur_s: dur,
+        });
+        att.outcome = ShotOutcome::Completed {
+            start_s: t0,
+            dur_s: dur,
+        };
+        att.end_s = t0 + dur;
+        return att;
+    }
 }
 
 /// Which rank ended up executing each shot, plus the accounting.
@@ -296,13 +529,42 @@ pub fn plan_survey_obs(
         .filter(|&r| health.is_healthy(r) && !queues[r].is_empty())
         .min_by(|&a, &b| clock[a].total_cmp(&clock[b]).then(a.cmp(&b)))
     {
-        let s = queues[r].pop_front().expect("non-empty queue");
-        let mut retries_this_shot = 0u32;
-        loop {
-            let t0 = clock[r];
-            if plan.device_lost(r, t0) {
-                // Device already gone when the attempt starts.
-                resilience_span(obs, r, "blacklist:device_lost", t0, 0.0, Some(s));
+        let Some(s) = queues[r].pop_front() else {
+            return Err(RtmError::MalformedPlan(format!(
+                "scheduler selected rank {r} with an empty work queue"
+            )));
+        };
+        let att = run_shot_attempts(
+            r,
+            clock[r],
+            shot_cost_s,
+            plan,
+            policy,
+            &mut attempt_seq[r],
+            None,
+            None,
+        );
+        for ev in &att.events {
+            resilience_span(obs, r, ev.name, ev.start_s, ev.dur_s, Some(s));
+        }
+        if let Some(o) = obs {
+            if att.retries > 0 {
+                o.registry.inc("shot_retries", att.retries);
+            }
+        }
+        clock[r] = att.end_s;
+        stats.retries += att.retries;
+        stats.backoff_s += att.backoff_s;
+        stats.wasted_s += att.wasted_s;
+        match att.outcome {
+            ShotOutcome::Completed { dur_s, .. } => {
+                stats.useful_s += dur_s;
+                health.record_success(r);
+                placement[s] = r;
+            }
+            ShotOutcome::DeviceLost { .. } | ShotOutcome::RetriesExhausted { .. } => {
+                // Rank is gone (or keeps failing): blacklist it and move its
+                // remaining work to the least-loaded survivor.
                 if let Some(o) = obs {
                     o.registry.inc("ranks_blacklisted", 1);
                 }
@@ -311,60 +573,14 @@ pub fn plan_survey_obs(
                 let mut work: Vec<usize> = queues[r].drain(..).collect();
                 work.push(s);
                 reschedule(work, &mut queues, &clock, &health, &mut stats)?;
-                break;
             }
-            // Transient launch failure (deterministic per (rank, seq)).
-            let seq = attempt_seq[r];
-            attempt_seq[r] += 1;
-            if plan.alloc_fails(r, seq) {
-                stats.retries += 1;
-                if let Some(o) = obs {
-                    o.registry.inc("shot_retries", 1);
-                }
-                if retries_this_shot >= policy.max_retries {
-                    // Rank keeps failing: give up on it entirely.
-                    resilience_span(obs, r, "blacklist:retries_exhausted", t0, 0.0, Some(s));
-                    if let Some(o) = obs {
-                        o.registry.inc("ranks_blacklisted", 1);
-                    }
-                    health.blacklist(r);
-                    stats.dead_ranks.push(r);
-                    let mut work: Vec<usize> = queues[r].drain(..).collect();
-                    work.push(s);
-                    reschedule(work, &mut queues, &clock, &health, &mut stats)?;
-                    break;
-                }
-                let delay = policy.backoff_delay(plan.seed() ^ r as u64, retries_this_shot);
-                resilience_span(obs, r, "backoff", t0, delay, Some(s));
-                clock[r] += delay;
-                stats.backoff_s += delay;
-                retries_this_shot += 1;
-                continue;
+            ShotOutcome::DeadlineCancelled { .. } | ShotOutcome::Cancelled { .. } => {
+                // plan_survey passes neither a deadline nor a token, so these
+                // outcomes cannot occur here.
+                return Err(RtmError::MalformedPlan(format!(
+                    "shot {s} cancelled in a survey planned without deadlines"
+                )));
             }
-            let dur = shot_cost_s * plan.slowdown(r, t0);
-            if let Some(lost) = plan.device_lost_at(r) {
-                if lost < t0 + dur {
-                    // Dies mid-shot: the partial work is lost.
-                    resilience_span(obs, r, "shot:lost", t0, lost - t0, Some(s));
-                    resilience_span(obs, r, "blacklist:device_lost", lost, 0.0, Some(s));
-                    if let Some(o) = obs {
-                        o.registry.inc("ranks_blacklisted", 1);
-                    }
-                    stats.wasted_s += lost - t0;
-                    health.blacklist(r);
-                    stats.dead_ranks.push(r);
-                    let mut work: Vec<usize> = queues[r].drain(..).collect();
-                    work.push(s);
-                    reschedule(work, &mut queues, &clock, &health, &mut stats)?;
-                    break;
-                }
-            }
-            resilience_span(obs, r, "shot", t0, dur, Some(s));
-            clock[r] = t0 + dur;
-            stats.useful_s += dur;
-            health.record_success(r);
-            placement[s] = r;
-            break;
         }
     }
     debug_assert!(placement.iter().all(|&r| r != usize::MAX));
@@ -455,7 +671,9 @@ pub fn rtm_survey_resilient(
             None
         }
     });
-    let images = results.remove(0).expect("first survivor collects");
+    let images = results.remove(0).ok_or_else(|| {
+        RtmError::MalformedPlan("first survivor returned no collected images".to_string())
+    })?;
 
     // Reduction with the fault-free topology: nominal rank r's partial is
     // its round-robin shots summed in shot order; partials then add in
@@ -465,7 +683,9 @@ pub fn rtm_survey_resilient(
     for r in 0..ranks {
         let mut partial = Field2::zeros(e);
         for s in shots_for_rank(shots.len(), r, ranks) {
-            let img = images[s].as_ref().expect("every shot imaged");
+            let img = images[s]
+                .as_ref()
+                .ok_or_else(|| RtmError::MalformedPlan(format!("shot {s} produced no image")))?;
             for (d, v) in partial.as_mut_slice().iter_mut().zip(img.as_slice()) {
                 *d += *v;
             }
@@ -798,6 +1018,98 @@ mod tests {
             prev = d;
         }
         assert_eq!(p.backoff_delay(77, 11), p.max_delay_s, "cap reached");
+    }
+
+    #[test]
+    fn backoff_stays_finite_to_attempt_64() {
+        // Attempt counts far past f64's exponent range must clamp, not
+        // overflow to infinity or NaN.
+        let p = RetryPolicy {
+            max_retries: 64,
+            base_delay_s: 0.5,
+            max_delay_s: 60.0,
+        };
+        let mut prev = 0.0;
+        for a in 0..=64u32 {
+            let d = p.backoff_delay(9, a);
+            assert!(d.is_finite(), "attempt {a}: {d} not finite");
+            assert!(d > 0.0 && d <= p.max_delay_s, "attempt {a}: {d}");
+            assert!(d >= prev, "attempt {a}: {d} < {prev}");
+            prev = d;
+        }
+        // Even a pathological base near f64::MAX must respect the cap.
+        let extreme = RetryPolicy {
+            max_retries: 64,
+            base_delay_s: 1e300,
+            max_delay_s: 120.0,
+        };
+        for a in [0u32, 1, 7, 52, 53, 63, 64] {
+            let d = extreme.backoff_delay(9, a);
+            assert!(
+                d.is_finite() && d <= extreme.max_delay_s,
+                "attempt {a}: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn shot_attempt_cancels_on_infeasible_deadline() {
+        let plan = FaultPlan::generate(0, 1, 1e6, FaultRates::none());
+        let policy = RetryPolicy::default();
+        let mut seq = 0u64;
+        // Plenty of budget: completes.
+        let ok = run_shot_attempts(0, 0.0, 10.0, &plan, &policy, &mut seq, Some(100.0), None);
+        assert!(matches!(ok.outcome, ShotOutcome::Completed { .. }));
+        assert_eq!(ok.end_s, 10.0);
+        // Too little budget: cancelled before burning any device time, and
+        // no transient-failure draw is consumed.
+        let draws_before = seq;
+        let cut = run_shot_attempts(0, 0.0, 10.0, &plan, &policy, &mut seq, Some(5.0), None);
+        assert_eq!(cut.outcome, ShotOutcome::DeadlineCancelled { at_s: 0.0 });
+        assert_eq!(cut.end_s, 0.0);
+        assert_eq!(seq, draws_before, "no fault draw for a cancelled attempt");
+        assert_eq!(cut.events, vec![ShotEvent::point("cancel:deadline", 0.0)]);
+    }
+
+    #[test]
+    fn shot_attempt_deadline_accounts_for_backoff() {
+        // Every allocation fails: the loop must give up once sleeping would
+        // bust the deadline instead of sleeping into it.
+        let rates = FaultRates {
+            transient_oom_prob: 1.0,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::generate(1, 1, 1e6, rates);
+        let policy = RetryPolicy {
+            max_retries: 100,
+            base_delay_s: 4.0,
+            max_delay_s: 60.0,
+        };
+        let mut seq = 0u64;
+        let att = run_shot_attempts(0, 0.0, 10.0, &plan, &policy, &mut seq, Some(15.0), None);
+        assert_eq!(
+            att.outcome,
+            ShotOutcome::DeadlineCancelled { at_s: att.end_s }
+        );
+        assert!(att.end_s <= 15.0, "never slept past the deadline");
+        assert!(att.retries >= 1, "at least one failing draw happened");
+        assert_eq!(att.events.last().unwrap().name, "cancel:deadline");
+    }
+
+    #[test]
+    fn shot_attempt_honors_cancellation_token() {
+        let plan = FaultPlan::generate(0, 1, 1e6, FaultRates::none());
+        let policy = RetryPolicy::default();
+        let token = CancellationToken::new();
+        let mut seq = 0u64;
+        let before = run_shot_attempts(0, 2.0, 1.0, &plan, &policy, &mut seq, None, Some(&token));
+        assert!(matches!(before.outcome, ShotOutcome::Completed { .. }));
+        token.cancel();
+        assert!(token.is_cancelled());
+        let after = run_shot_attempts(0, 3.0, 1.0, &plan, &policy, &mut seq, None, Some(&token));
+        assert_eq!(after.outcome, ShotOutcome::Cancelled { at_s: 3.0 });
+        assert_eq!(after.end_s, 3.0);
+        assert_eq!(after.events, vec![ShotEvent::point("cancel:token", 3.0)]);
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct ProfileRequest {
     /// Override the table workload's step count (smoke runs); `None`
     /// keeps the calibrated production scale.
     pub steps: Option<usize>,
+    /// Also run the `acc-serve` smoke burst against the same session:
+    /// the service tracks join the timeline and the server's queue-depth
+    /// and shed-rate gauges land in the report registry.
+    pub serve: bool,
 }
 
 /// The four artifacts plus the raw session, for tests that want to poke.
@@ -196,6 +200,12 @@ pub fn profile(req: &ProfileRequest) -> Result<ProfileOutput, RtmError> {
         emit_halo_timeline(&obs, &req.case, &w, &mt);
     }
 
+    // The served burst rides on the same session: its spans land on the
+    // per-device service tracks and its queue/shed gauges in the registry.
+    if req.serve {
+        crate::serve::smoke_run(Some(&obs))?;
+    }
+
     let label = device_label(req.device);
     let nvprof_summary = run.runtime.profiler().render(&label);
     let metrics = obs.metrics().render(&label);
@@ -227,6 +237,7 @@ fn build_report(req: &ProfileRequest, w: &Workload, run: &GpuRun, obs: &ObsSessi
     doc.insert("case", case_name(&req.case));
     doc.insert("mode", req.mode.as_str());
     doc.insert("device", req.device.as_str());
+    doc.insert("serve", req.serve);
 
     let mut wl = serde_json::Map::new();
     wl.insert("nx", w.nx as u64);
@@ -285,6 +296,7 @@ mod tests {
             mode: RunMode::Rtm,
             device: DeviceChoice::K40,
             steps: Some(20),
+            serve: false,
         };
         let out = profile(&req).expect("smoke profile runs");
         assert!(out.nvprof_summary.contains("Compute"));
@@ -318,6 +330,43 @@ mod tests {
             .unwrap()
             .get("kernels_launched")
             .is_some());
+    }
+
+    /// `--serve` folds the served smoke burst into the same session: the
+    /// service tracks join the timeline and the server's queue-depth and
+    /// shed-rate gauges land in the report registry.
+    #[test]
+    fn serve_profile_reports_queue_gauges() {
+        let req = ProfileRequest {
+            case: parse_case("iso2d").unwrap(),
+            mode: RunMode::Modeling,
+            device: DeviceChoice::K40,
+            steps: Some(10),
+            serve: true,
+        };
+        let out = profile(&req).expect("served profile runs");
+        let report = serde_json::from_str(&out.report_json).expect("valid report JSON");
+        let gauges = report
+            .get("registry")
+            .unwrap()
+            .get("gauges")
+            .expect("registry has gauges");
+        for name in ["queue_depth", "shed_rate"] {
+            assert!(gauges.get(name).is_some(), "missing gauge {name}");
+        }
+        let counters = report.get("registry").unwrap().get("counters").unwrap();
+        assert!(counters.get("jobs_submitted").is_some());
+        let labels: Vec<String> = out
+            .session
+            .tracer
+            .tracks()
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("serve dev")),
+            "{labels:?}"
+        );
     }
 
     /// Observability must not perturb the modeled timings: the observed

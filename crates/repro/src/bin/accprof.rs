@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: accprof --case {iso2d|ac2d|el2d|iso3d|ac3d|el3d} \
---device {m2090|k40} [--mode {modeling|rtm}] [--steps N] [--out DIR]";
+--device {m2090|k40} [--mode {modeling|rtm}] [--steps N] [--serve] [--out DIR]";
 
 struct Args {
     req: ProfileRequest,
@@ -31,6 +31,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut device = None;
     let mut mode = RunMode::Rtm;
     let mut steps = None;
+    let mut serve = false;
     let mut out = PathBuf::from("accprof-out");
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -62,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| format!("--steps must be a positive integer, got '{v}'"))?,
                 );
             }
+            "--serve" => serve = true,
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -75,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             mode,
             device,
             steps,
+            serve,
         },
         out,
     })

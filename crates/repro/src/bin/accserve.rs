@@ -1,0 +1,119 @@
+//! `accserve` — the job-server study CLI.
+//!
+//! Two modes:
+//!
+//! * `--smoke` (default): run the deterministic CI smoke scenario — a
+//!   2× capacity mixed-tenant burst on a fleet with transient allocation
+//!   faults and an early device loss — check the service-level
+//!   invariants (admitted jobs terminate with a typed outcome, deadline
+//!   completions beat their deadlines, sheds are lowest-priority-first),
+//!   and write the machine-readable report. Exit is nonzero on any
+//!   violation.
+//! * `--sweep`: sweep offered load past fleet capacity and print the
+//!   degradation table (goodput, tail latency, shed rate, typed
+//!   rejections, deadline cancellations, breaker activity), writing the
+//!   rows as JSON alongside.
+//!
+//! ```text
+//! accserve [--smoke | --sweep] [--out DIR]
+//! ```
+
+use repro::serve::{
+    overload_rows_json, overload_sweep, render_overload_table, smoke_report_json, smoke_run,
+    smoke_violations,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: accserve [--smoke | --sweep] [--out DIR]";
+
+fn main() -> ExitCode {
+    let mut sweep = false;
+    let mut out = PathBuf::from("accserve-out");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => sweep = false,
+            "--sweep" => sweep = true,
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("accserve: cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    if sweep {
+        let multipliers = [0.5, 1.0, 1.5, 2.0, 3.0];
+        let rows = match overload_sweep(&multipliers, 7, 4) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("accserve: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("Overload sweep (4 devices, offered load over fleet capacity)\n");
+        print!("{}", render_overload_table(&rows));
+        let path = out.join("overload_sweep.json");
+        let doc = serde_json::to_string(&overload_rows_json(&rows));
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("accserve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let (scenario, report) = match smoke_run(None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("accserve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = smoke_violations(&scenario, &report);
+    let doc = smoke_report_json(&scenario, &report, &violations);
+    let path = out.join("smoke_report.json");
+    if let Err(e) = std::fs::write(&path, serde_json::to_string(&doc)) {
+        eprintln!("accserve: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "smoke: {} jobs — {} completed, {} shed, {} rejected, {} cancelled; \
+         makespan {:.1}s, goodput {:.0} gp·s of {:.0} offered, {} breaker transitions",
+        scenario.jobs.len(),
+        report.jobs_completed,
+        report.jobs_shed,
+        report.jobs_rejected,
+        report.jobs_cancelled,
+        report.makespan_s,
+        report.goodput_cost_s,
+        report.offered_cost_s,
+        report.breaker_log.len(),
+    );
+    println!("wrote {}", path.display());
+    if violations.is_empty() {
+        println!("PASS: service-level invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

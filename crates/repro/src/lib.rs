@@ -19,6 +19,10 @@
 //!   emitting an nvprof-style summary, a `--metrics` counter table, a
 //!   Perfetto timeline, and a machine-readable report.
 //!
+//! * [`serve`] — service-level study of `acc-serve`: offered load swept
+//!   past fleet capacity (goodput, tail latency, shed rate, breaker
+//!   activity) and the CI smoke scenario,
+//!
 //! [`ablation`] adds studies of the design choices DESIGN.md calls out
 //! (working tile/cache clauses, pinned memory, partial transfers, C-PML
 //! width).
@@ -33,5 +37,6 @@ pub mod figures;
 pub mod paper;
 pub mod render;
 pub mod resilience;
+pub mod serve;
 pub mod table;
 pub mod verify;

@@ -41,6 +41,7 @@ fn metrics_agree_with_analytic_model_across_all_cases() {
                     mode,
                     device,
                     steps: Some(10),
+                    serve: false,
                 };
                 let out = match profile(&req) {
                     Ok(o) => o,
@@ -204,6 +205,7 @@ fn iso3d_trace_has_three_monotone_tracks() {
         mode: RunMode::Rtm,
         device: DeviceChoice::K40,
         steps: Some(25),
+        serve: false,
     };
     let out = profile(&req).expect("iso3d fits the K40");
 
