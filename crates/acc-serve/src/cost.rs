@@ -14,7 +14,7 @@ use crate::job::JobKind;
 use openacc_sim::compiler::Compiler;
 use parking_lot::Mutex;
 use rtm_core::case::{Cluster, SeismicCase, Workload};
-use rtm_core::gpu_time::{modeling_time, rtm_time};
+use rtm_core::gpu_time::{modeling_time, rand_bound_time, rtm_time};
 use rtm_core::OptimizationConfig;
 use std::collections::BTreeMap;
 
@@ -64,6 +64,7 @@ pub fn price_shot_cost(
     let run = match kind {
         JobKind::Rtm => rtm_time(case, config, compiler, cluster, &probe),
         JobKind::Modeling => modeling_time(case, config, compiler, cluster, &probe),
+        JobKind::RtmRandomBoundary => rand_bound_time(case, config, compiler, cluster, &probe),
     }
     .map_err(|e| e.to_string())?;
     let per_step = run.breakdown.total_s / probe.steps as f64;
@@ -163,5 +164,46 @@ mod tests {
             r > m,
             "RTM replays the forward wavefield, so it must cost more: rtm={r} modeling={m}"
         );
+    }
+
+    /// Remodeling-based jobs price above plain modeling (three
+    /// propagations vs one) and get their own cache partition.
+    #[test]
+    fn random_boundary_prices_remodeling_compute() {
+        let cfg = OptimizationConfig::default();
+        let c = iso2();
+        let w = small_workload(40);
+        let m = price_shot_cost(
+            &c,
+            &w,
+            JobKind::Modeling,
+            &cfg,
+            Cluster::CrayXc30,
+            Compiler::Cray,
+        )
+        .unwrap();
+        let rb = price_shot_cost(
+            &c,
+            &w,
+            JobKind::RtmRandomBoundary,
+            &cfg,
+            Cluster::CrayXc30,
+            Compiler::Cray,
+        )
+        .unwrap();
+        let r = price_shot_cost(
+            &c,
+            &w,
+            JobKind::Rtm,
+            &cfg,
+            Cluster::CrayXc30,
+            Compiler::Cray,
+        )
+        .unwrap();
+        assert!(
+            rb > 2.0 * m,
+            "remodeling runs the source twice plus the receiver pass: rb={rb} modeling={m}"
+        );
+        assert_ne!(rb, r, "distinct kinds must not share a cached price");
     }
 }

@@ -35,6 +35,10 @@ pub enum JobKind {
     Rtm,
     /// Forward modeling only.
     Modeling,
+    /// Random-boundary RTM: remodeling-based source reconstruction —
+    /// roughly 2× the source compute of [`JobKind::Rtm`]'s forward pass in
+    /// exchange for zero checkpoint I/O.
+    RtmRandomBoundary,
 }
 
 /// How the per-shot cost of a job is determined.

@@ -18,7 +18,7 @@
 use crate::breaker::{Breaker, BreakerConfig, BreakerTransition};
 use crate::cost::price_shot_cost;
 use crate::fair::DrrQueue;
-use crate::job::{JobCost, JobOutcome, Payload, Rejected, RtmJob, Scenario, Submission};
+use crate::job::{JobCost, JobKind, JobOutcome, Payload, Rejected, RtmJob, Scenario, Submission};
 use crate::snapshot::{CompletedShot, QueueSnapshot, SnapJob};
 use acc_obs::{ObsSession, Span, SpanCat, Track};
 use accel_sim::fault::{FaultView, FleetFaultPlan};
@@ -44,6 +44,13 @@ pub struct BrownoutConfig {
     /// restart cost for throughput. Affected jobs are reported
     /// `degraded`; payload physics is unchanged.
     pub ckpt_relief: f64,
+    /// Brown-out multiplier for [`crate::job::JobKind::RtmRandomBoundary`]
+    /// shots. Remodeling-based jobs carry no checkpoint I/O at all, so the
+    /// server can shed *more* of their modeled cost than checkpoint
+    /// stretching buys on ordinary RTM — a deeper discount (smaller value
+    /// than [`BrownoutConfig::ckpt_relief`]) makes deficit round-robin
+    /// prefer dispatching random-boundary shots while degraded.
+    pub remodel_relief: f64,
 }
 
 impl Default for BrownoutConfig {
@@ -52,6 +59,7 @@ impl Default for BrownoutConfig {
             high_frac: 0.85,
             low_frac: 0.60,
             ckpt_relief: 0.90,
+            remodel_relief: 0.75,
         }
     }
 }
@@ -133,6 +141,9 @@ struct JobState {
     priority: u8,
     deadline_s: Option<f64>,
     shot_cost_s: f64,
+    /// Driver kind of [`JobCost::Priced`] submissions; `None` for fixed-cost
+    /// synthetic jobs. Selects the brown-out relief multiplier.
+    kind: Option<JobKind>,
     n_shots: usize,
     payload: Payload,
     arrival_s: f64,
@@ -151,6 +162,14 @@ struct JobState {
     finish_s: f64,
     cancel: CancellationToken,
     outcome: Option<JobOutcome>,
+}
+
+/// Driver kind recorded on a job for brown-out relief selection.
+fn job_kind(cost: &JobCost) -> Option<JobKind> {
+    match cost {
+        JobCost::FixedShotCost(_) => None,
+        JobCost::Priced { kind, .. } => Some(*kind),
+    }
 }
 
 impl JobState {
@@ -403,6 +422,7 @@ impl Server {
                     priority: sub.spec.priority,
                     deadline_s: sub.spec.deadline_s,
                     shot_cost_s: cost,
+                    kind: job_kind(&sub.spec.cost),
                     n_shots: sub.spec.n_shots,
                     payload: sub.spec.payload.clone(),
                     arrival_s: sub.arrival_s,
@@ -534,6 +554,7 @@ impl Server {
                             priority: sub.spec.priority,
                             deadline_s: sub.spec.deadline_s,
                             shot_cost_s: cost,
+                            kind: job_kind(&sub.spec.cost),
                             n_shots: sub.spec.n_shots,
                             payload: sub.spec.payload.clone(),
                             arrival_s: sub.arrival_s,
@@ -656,16 +677,26 @@ impl Server {
                     if !ok {
                         continue;
                     }
-                    let relief = if brownout {
-                        self.cfg.brownout.ckpt_relief
-                    } else {
-                        1.0
+                    // Per-job brown-out relief: remodeling jobs have no
+                    // checkpoint I/O to begin with, so they shed a deeper
+                    // fraction of their modeled cost than checkpoint
+                    // stretching buys — DRR then prefers their shots while
+                    // the server is degraded.
+                    let relief_for = |kind: Option<JobKind>| {
+                        if !brownout {
+                            1.0
+                        } else if kind == Some(JobKind::RtmRandomBoundary) {
+                            self.cfg.brownout.remodel_relief
+                        } else {
+                            self.cfg.brownout.ckpt_relief
+                        }
                     };
                     let picked = drr.next_shot(
-                        |j| jobs[j].shot_cost_s * relief,
+                        |j| jobs[j].shot_cost_s * relief_for(jobs[j].kind),
                         |j| jobs[j].remaining.len() > 1,
                     );
                     let Some((_tenant, j)) = picked else { break };
+                    let relief = relief_for(jobs[j].kind);
                     let job = &mut jobs[j];
                     if job.remaining.len() <= 1 {
                         job.in_drr = false;
@@ -1265,6 +1296,7 @@ mod tests {
                     high_frac: 0.85,
                     low_frac: 0.60,
                     ckpt_relief: 0.9,
+                    remodel_relief: 0.75,
                 },
                 ..ServerConfig::default()
             },
@@ -1290,6 +1322,141 @@ mod tests {
         assert!(matches!(report.outcomes[2], JobOutcome::Shed { .. }));
         assert_eq!(report.jobs_shed, 2);
         assert!((report.shed_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// Under brown-out, random-boundary jobs get a deeper relief multiplier
+    /// than checkpointed RTM, so deficit round-robin prefers their shots:
+    /// the same scenario finishes the remodeling job strictly earlier when
+    /// `remodel_relief < ckpt_relief` than when the two are equal.
+    #[test]
+    fn brownout_prefers_random_boundary_jobs() {
+        use crate::cost::price_shot_cost;
+        use crate::job::{JobCost, JobKind, Payload};
+        use rtm_core::case::{SeismicCase, Workload};
+        use seismic_model::footprint::{Dims, Formulation};
+
+        let case = SeismicCase {
+            formulation: Formulation::Isotropic,
+            dims: Dims::Two,
+        };
+        let wl = Workload {
+            nx: 24,
+            ny: 1,
+            nz: 24,
+            steps: 40,
+            snap_period: 4,
+            n_receivers: 8,
+        };
+        let priced = |tenant: usize, kind: JobKind| JobSpec {
+            tenant,
+            priority: 5,
+            deadline_s: None,
+            n_shots: 10,
+            cost: JobCost::Priced {
+                case,
+                workload: wl,
+                kind,
+            },
+            payload: Payload::Synthetic,
+        };
+        // The server prices with the same defaults, so these match its
+        // internal per-shot costs exactly (and warm the probe cache).
+        let cfg = rtm_core::OptimizationConfig::default();
+        let c_rtm = price_shot_cost(
+            &case,
+            &wl,
+            JobKind::Rtm,
+            &cfg,
+            Cluster::CrayXc30,
+            Compiler::Cray,
+        )
+        .unwrap();
+        let c_rb = price_shot_cost(
+            &case,
+            &wl,
+            JobKind::RtmRandomBoundary,
+            &cfg,
+            Cluster::CrayXc30,
+            Compiler::Cray,
+        )
+        .unwrap();
+        let total = 10.0 * (c_rtm + c_rb);
+        // The trigger arrives once the single device has necessarily
+        // exhausted the checkpointed job's 10 shots and is mid-flight on a
+        // remodeling shot — true for any DRR interleaving, because the
+        // device is continuously busy and the checkpointed job can absorb
+        // at most 10·c_rtm of that service.
+        let trigger_at = 10.0 * c_rtm + 0.5 * c_rb;
+        // Outstanding cost at the trigger is ≈ 9.5–10.5 shots of the
+        // remodeling job; this trigger cost lands the queue strictly
+        // between the high watermark and capacity for that whole range.
+        let trigger_cost = 1.2 * total - 10.0 * c_rb;
+
+        // Timeline: the low-priority trigger submission pushes the queue
+        // over the high watermark, is shed (never started), and the
+        // started remodeling job drains the rest of the way under
+        // brown-out relief.
+        let run = |remodel_relief: f64| {
+            let server = Server::new(
+                ServerConfig {
+                    n_devices: 1,
+                    queue_capacity_cost_s: 1.3 * total,
+                    tenant_quota_cost_s: 1e9,
+                    brownout: BrownoutConfig {
+                        high_frac: 0.85,
+                        low_frac: 0.10,
+                        ckpt_relief: 0.90,
+                        remodel_relief,
+                    },
+                    ..ServerConfig::default()
+                },
+                clean_fleet(1),
+            );
+            let scenario = Scenario {
+                tenants: vec![
+                    Tenant::new("ckpt", 1),
+                    Tenant::new("remodel", 1),
+                    Tenant::new("noise", 1),
+                ],
+                jobs: vec![
+                    sub(0.0, priced(0, JobKind::Rtm)),
+                    sub(0.0, priced(1, JobKind::RtmRandomBoundary)),
+                    sub(trigger_at, JobSpec::synthetic(2, 0, 1, trigger_cost)),
+                ],
+            };
+            server.run(&scenario, None).unwrap()
+        };
+        let finish_of = |r: &ServeReport, i: usize| match &r.outcomes[i] {
+            JobOutcome::Completed {
+                finish_s, degraded, ..
+            } => (*finish_s, *degraded),
+            o => panic!("job {i} should complete, got {o:?}"),
+        };
+
+        let preferred = run(0.75);
+        let control = run(0.90);
+        for r in [&preferred, &control] {
+            assert!(
+                matches!(r.outcomes[2], JobOutcome::Shed { .. }),
+                "trigger job must be shed, got {:?}",
+                r.outcomes[2]
+            );
+        }
+        let (rb_pref, rb_degraded) = finish_of(&preferred, 1);
+        let (rb_ctrl, _) = finish_of(&control, 1);
+        assert!(rb_degraded, "remodeling shots must run under brown-out");
+        assert!(
+            rb_pref < rb_ctrl,
+            "deeper remodel relief must finish the random-boundary job \
+             earlier: preferred={rb_pref} control={rb_ctrl}"
+        );
+        // The checkpointed job completes in both runs either way.
+        let (rtm_pref, _) = finish_of(&preferred, 0);
+        let (rtm_ctrl, _) = finish_of(&control, 0);
+        assert_eq!(
+            rtm_pref, rtm_ctrl,
+            "the checkpointed job's schedule is untouched by remodel relief"
+        );
     }
 
     #[test]

@@ -319,6 +319,152 @@ pub fn rtm_time_obs(
     })
 }
 
+/// Price a random-boundary RTM run (forward remodeling + lockstep
+/// backward) on `cluster`'s GPU. Trades the checkpoint traffic of
+/// [`rtm_time`] for a second source propagation: the forward pass never
+/// updates the host (no snapshot stream), and the backward pass runs the
+/// source phases *again* in reverse, in lockstep with the receiver
+/// phases, with no snapshot restores. Both full field sets are
+/// co-resident during the backward pass — that is the method's memory
+/// price on-device, while host-side snapshot storage drops to zero.
+pub fn rand_bound_time(
+    case: &SeismicCase,
+    config: &OptimizationConfig,
+    compiler: Compiler,
+    cluster: Cluster,
+    w: &Workload,
+) -> Result<GpuRun, DataError> {
+    rand_bound_time_obs(case, config, compiler, cluster, w, None)
+}
+
+/// [`rand_bound_time`] with an optional observability session:
+/// `remodel_forward`/`remodel_backward` phase spans, imaging spans, and a
+/// `checkpoint_bytes_avoided` registry counter (the snapshot bytes
+/// [`rtm_time`] would have moved to the host). No checkpoint spans are
+/// ever emitted — there are none.
+pub fn rand_bound_time_obs(
+    case: &SeismicCase,
+    config: &OptimizationConfig,
+    compiler: Compiler,
+    cluster: Cluster,
+    w: &Workload,
+    obs: Option<Arc<ObsSession>>,
+) -> Result<GpuRun, DataError> {
+    let mut rt = AccRuntime::new(cluster.device(), compiler);
+    if let Some(o) = &obs {
+        rt.attach_obs(o.clone());
+    }
+    rt.default_maxregcount = config.maxregcount;
+    let alloc = w.alloc_points(STENCIL_HALF) as usize;
+    let fwd_bytes = footprint::modeling_bytes(case.formulation, case.dims, alloc);
+    let wf_bytes = wavefield_bytes(case, w);
+    let iso_consistency = case.formulation == Formulation::Isotropic;
+
+    // Step 1: source field set (randomized medium — identical sizes).
+    rt.enter_data_copyin("source", fwd_bytes)?;
+
+    // Step 2: forward remodeling pass. No snapshot `update host` — the
+    // branch the paper needed to throttle host updates disappears
+    // entirely.
+    let phases = plan::step_phases(case, config, w, compiler);
+    let src = plan::source_injection(case, compiler, config);
+    let fwd_t0 = rt.elapsed();
+    for step in 0..w.steps {
+        run_phases(&mut rt, &phases);
+        rt.launch(&src.desc, &src.nest, src.kind, &src.clauses);
+        if step % w.snap_period == 0 {
+            if let Some(o) = &obs {
+                o.registry.inc("checkpoint_bytes_avoided", wf_bytes);
+            }
+        }
+        if iso_consistency {
+            rt.update_host("source", Some(wf_bytes / 8), TransferKind::Contiguous)
+                .expect("source present");
+            rt.update_device("source", Some(wf_bytes / 8), TransferKind::Contiguous)
+                .expect("source present");
+        }
+    }
+    if let Some(o) = &obs {
+        o.span(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "remodel_forward",
+            fwd_t0,
+            rt.elapsed() - fwd_t0,
+        ));
+    }
+
+    // Step 3: the receiver/imaging set joins the source set on device —
+    // no `forward_wavefield` staging buffer, but both propagation states
+    // co-resident for the whole backward phase.
+    rt.enter_data_copyin("backward", fwd_bytes + wf_bytes)?;
+
+    // Step 4: lockstep backward — source phases re-run in reverse plus
+    // receiver phases, imaging straight off the live fields (no
+    // restores).
+    let rcv = plan::receiver_injection(case, compiler, config, w.n_receivers);
+    let img = plan::imaging_kernel(case, compiler, config, w);
+    let bwd_t0 = rt.elapsed();
+    for step in 0..w.steps {
+        if step % w.snap_period == 0 {
+            let i0 = rt.elapsed();
+            match config.image_placement {
+                ImagePlacement::Gpu => {
+                    rt.launch(&img.desc, &img.nest, img.kind, &img.clauses);
+                }
+                ImagePlacement::Cpu => {
+                    rt.update_host("backward", Some(wf_bytes), TransferKind::Contiguous)
+                        .expect("backward present");
+                    let cpu = cluster.cpu();
+                    rt.advance_host(cpu.kernel_time(w.points(), 2.0, 16.0));
+                }
+            }
+            if let Some(o) = &obs {
+                o.span(Span::new(
+                    Track::Host,
+                    SpanCat::Phase,
+                    "imaging",
+                    i0,
+                    rt.elapsed() - i0,
+                ));
+            }
+        }
+        // Source reconstruction: same per-step kernel cost as forward.
+        run_phases(&mut rt, &phases);
+        rt.launch(&src.desc, &src.nest, src.kind, &src.clauses);
+        // Receiver propagation.
+        run_phases(&mut rt, &phases);
+        for r in &rcv {
+            rt.launch(&r.desc, &r.nest, r.kind, &r.clauses);
+        }
+        if iso_consistency {
+            rt.update_host("backward", Some(wf_bytes / 8), TransferKind::Contiguous)
+                .expect("backward present");
+            rt.update_device("backward", Some(wf_bytes / 8), TransferKind::Contiguous)
+                .expect("backward present");
+        }
+    }
+    if let Some(o) = &obs {
+        o.span(Span::new(
+            Track::Host,
+            SpanCat::Phase,
+            "remodel_backward",
+            bwd_t0,
+            rt.elapsed() - bwd_t0,
+        ));
+    }
+
+    // Step 5: store the image and free the device.
+    rt.update_host("backward", Some(w.points() * 4), TransferKind::Contiguous)
+        .expect("backward present");
+    rt.exit_data_delete("backward").expect("backward present");
+    rt.exit_data_delete("source").expect("source present");
+    Ok(GpuRun {
+        breakdown: breakdown(&rt),
+        runtime: rt,
+    })
+}
+
 /// Dimensionality-aware default workloads used by tests.
 pub fn test_workload(dims: Dims) -> Workload {
     match dims {
@@ -468,6 +614,66 @@ mod tests {
         let sync_t = run(false);
         let async_t = run(true);
         assert!(async_t < sync_t, "async {async_t} vs sync {sync_t}");
+    }
+
+    /// Random-boundary RTM trades transfers for kernels: no snapshot
+    /// traffic (less transfer time than checkpointed RTM) at the price of
+    /// a second source propagation (more kernel time).
+    #[test]
+    fn rand_bound_trades_transfers_for_kernels() {
+        let c = case(Formulation::Acoustic, Dims::Two);
+        let w = test_workload(Dims::Two);
+        let cfg = OptimizationConfig::default();
+        let rtm = rtm_time(&c, &cfg, PGI, Cluster::Ibm, &w).unwrap().breakdown;
+        let rb = rand_bound_time(&c, &cfg, PGI, Cluster::Ibm, &w)
+            .unwrap()
+            .breakdown;
+        assert!(
+            rb.transfer_s < rtm.transfer_s,
+            "no snapshot traffic: {} vs {}",
+            rb.transfer_s,
+            rtm.transfer_s
+        );
+        assert!(
+            rb.kernel_s > rtm.kernel_s,
+            "remodeling reruns the source phases: {} vs {}",
+            rb.kernel_s,
+            rtm.kernel_s
+        );
+        // It still costs more than plain modeling (three propagations).
+        let m = modeling_time(&c, &cfg, PGI, Cluster::Ibm, &w)
+            .unwrap()
+            .breakdown;
+        assert!(rb.total_s > 2.0 * m.total_s);
+    }
+
+    /// Observed random-boundary pricing: remodeling spans present, zero
+    /// checkpoint spans/counters, avoided bytes accounted.
+    #[test]
+    fn rand_bound_obs_reports_avoided_bytes() {
+        let c = case(Formulation::Acoustic, Dims::Two);
+        let w = test_workload(Dims::Two);
+        let cfg = OptimizationConfig::default();
+        let obs = Arc::new(ObsSession::new());
+        let plain = rand_bound_time(&c, &cfg, PGI, Cluster::Ibm, &w)
+            .unwrap()
+            .breakdown;
+        let traced = rand_bound_time_obs(&c, &cfg, PGI, Cluster::Ibm, &w, Some(obs.clone()))
+            .unwrap()
+            .breakdown;
+        assert_eq!(plain, traced, "observation must not change the pricing");
+        let n_snaps = w.steps.div_ceil(w.snap_period) as u64;
+        assert_eq!(
+            obs.registry.counter("checkpoint_bytes_avoided"),
+            n_snaps * wavefield_bytes(&c, &w)
+        );
+        assert_eq!(obs.registry.counter("checkpoints_written"), 0);
+        assert_eq!(obs.registry.counter("checkpoints_restored"), 0);
+        let names: Vec<String> = obs.tracer.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"remodel_forward".to_string()));
+        assert!(names.contains(&"remodel_backward".to_string()));
+        assert!(!names.contains(&"checkpoint_write".to_string()));
+        assert!(!names.contains(&"checkpoint_restore".to_string()));
     }
 
     /// The isotropic consistency updates make iso RTM transfer-heavy —

@@ -30,6 +30,9 @@
 //!   pricing with ghost packing and communication/computation overlap,
 //! * [`checkpoint`] — bounded-memory RTM via store-vs-recompute
 //!   checkpointing of the source wavefield,
+//! * [`rand_boundary`] — checkpoint-free RTM: seeded random-boundary media
+//!   and time-reversed source-wavefield reconstruction (2D and 3D), zero
+//!   snapshot storage,
 //! * [`shot_parallel`] — survey-level shot distribution over ranks with
 //!   image stacking on the root,
 //! * [`resilient`] — fault-tolerant execution under a seeded
@@ -50,6 +53,7 @@ pub mod modeling3;
 pub mod mpi_run;
 pub mod multi_gpu;
 pub mod plan;
+pub mod rand_boundary;
 pub mod resilient;
 pub mod rtm;
 pub mod rtm3;

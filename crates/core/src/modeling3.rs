@@ -216,88 +216,8 @@ impl State3 {
                 s.u_prev.swap(&mut s.u_cur);
             }
             (State3::Acoustic(s), Medium3::Acoustic { model, cpml }) => {
-                let h = [model.geom.dx, model.geom.dy, model.geom.dz];
-                {
-                    let qx = SyncSlice::new(s.qx.as_mut_slice());
-                    let qy = SyncSlice::new(s.qy.as_mut_slice());
-                    let qz = SyncSlice::new(s.qz.as_mut_slice());
-                    let px = SyncSlice::new(s.psi_px.as_mut_slice());
-                    let py = SyncSlice::new(s.psi_py.as_mut_slice());
-                    let pz = SyncSlice::new(s.psi_pz.as_mut_slice());
-                    let p = s.p.as_slice();
-                    par_slabs(nz, gangs, |z0, z1| {
-                        acoustic3d::velocity_slab(
-                            qx,
-                            qy,
-                            qz,
-                            px,
-                            py,
-                            pz,
-                            p,
-                            model.rho.as_slice(),
-                            e,
-                            h,
-                            model.geom.dt,
-                            cpml,
-                            z0,
-                            z1,
-                        );
-                    });
-                }
-                match config.fission {
-                    seismic_prop::FissionVariant::Fused => {
-                        let p = SyncSlice::new(s.p.as_mut_slice());
-                        let sx = SyncSlice::new(s.psi_qx.as_mut_slice());
-                        let sy = SyncSlice::new(s.psi_qy.as_mut_slice());
-                        let sz = SyncSlice::new(s.psi_qz.as_mut_slice());
-                        let (qx, qy, qz) = (s.qx.as_slice(), s.qy.as_slice(), s.qz.as_slice());
-                        par_slabs(nz, gangs, |z0, z1| {
-                            acoustic3d::pressure_fused_slab(
-                                p,
-                                sx,
-                                sy,
-                                sz,
-                                qx,
-                                qy,
-                                qz,
-                                model.vp.as_slice(),
-                                model.rho.as_slice(),
-                                e,
-                                h,
-                                model.geom.dt,
-                                cpml,
-                                z0,
-                                z1,
-                            );
-                        });
-                    }
-                    seismic_prop::FissionVariant::Fissioned => {
-                        for axis in 0..3 {
-                            let p = SyncSlice::new(s.p.as_mut_slice());
-                            let (psi, q) = match axis {
-                                0 => (SyncSlice::new(s.psi_qx.as_mut_slice()), s.qx.as_slice()),
-                                1 => (SyncSlice::new(s.psi_qy.as_mut_slice()), s.qy.as_slice()),
-                                _ => (SyncSlice::new(s.psi_qz.as_mut_slice()), s.qz.as_slice()),
-                            };
-                            par_slabs(nz, gangs, |z0, z1| {
-                                acoustic3d::pressure_axis_slab(
-                                    p,
-                                    psi,
-                                    q,
-                                    model.vp.as_slice(),
-                                    model.rho.as_slice(),
-                                    e,
-                                    axis,
-                                    h[axis],
-                                    model.geom.dt,
-                                    &cpml[axis],
-                                    z0,
-                                    z1,
-                                );
-                            });
-                        }
-                    }
-                }
+                acoustic3_velocity_phase(s, model, cpml, e, gangs, model.geom.dt);
+                acoustic3_pressure_phase(s, model, cpml, e, gangs, model.geom.dt, config, false);
             }
             (State3::Elastic(s), Medium3::Elastic { model, cpml }) => {
                 // The elastic step has six kernels with ψ-array ownership
@@ -310,6 +230,149 @@ impl State3 {
             _ => panic!("state/medium formulation mismatch"),
         }
     }
+
+    /// Undo one [`State3::step`] through a **lossless** medium (transparent
+    /// absorbers) — the 3-D counterpart of [`crate::modeling::State2::step_reverse`],
+    /// with the same contract: leapfrog states reverse by stepping forward
+    /// from swapped levels; staggered states run their phases in reverse
+    /// order with `−dt` (the fissioned acoustic pressure phase additionally
+    /// reverses its per-axis loop, since the three axis updates accumulate
+    /// into `p` sequentially). Callers remove the source injection first.
+    pub fn step_reverse(&mut self, medium: &Medium3, config: &OptimizationConfig, gangs: usize) {
+        let e = medium.extent();
+        match (&mut *self, medium) {
+            (State3::Iso(_), Medium3::Iso { .. }) => {
+                if let State3::Iso(s) = self {
+                    s.u_prev.swap(&mut s.u_cur);
+                }
+                self.step(medium, config, gangs);
+                if let State3::Iso(s) = self {
+                    s.u_prev.swap(&mut s.u_cur);
+                }
+            }
+            (State3::Acoustic(s), Medium3::Acoustic { model, cpml }) => {
+                acoustic3_pressure_phase(s, model, cpml, e, gangs, -model.geom.dt, config, true);
+                acoustic3_velocity_phase(s, model, cpml, e, gangs, -model.geom.dt);
+            }
+            (State3::Elastic(s), Medium3::Elastic { model, cpml }) => {
+                elastic3_stress_gangs(s, model, cpml, gangs, -model.geom.dt);
+                elastic3_velocity_gangs(s, model, cpml, gangs, -model.geom.dt);
+            }
+            _ => panic!("state/medium formulation mismatch"),
+        }
+    }
+}
+
+/// Acoustic 3-D phase 1: particle velocities from the pressure gradient
+/// (`q += dt·D(p)` per axis, one fused kernel). `dt` is signed.
+fn acoustic3_velocity_phase(
+    s: &mut acoustic3d::Ac3State,
+    model: &AcousticModel3,
+    cpml: &[CpmlAxis; 3],
+    e: Extent3,
+    gangs: usize,
+    dt: f32,
+) {
+    let h = [model.geom.dx, model.geom.dy, model.geom.dz];
+    let qx = SyncSlice::new(s.qx.as_mut_slice());
+    let qy = SyncSlice::new(s.qy.as_mut_slice());
+    let qz = SyncSlice::new(s.qz.as_mut_slice());
+    let px = SyncSlice::new(s.psi_px.as_mut_slice());
+    let py = SyncSlice::new(s.psi_py.as_mut_slice());
+    let pz = SyncSlice::new(s.psi_pz.as_mut_slice());
+    let p = s.p.as_slice();
+    par_slabs(e.nz, gangs, |z0, z1| {
+        acoustic3d::velocity_slab(
+            qx,
+            qy,
+            qz,
+            px,
+            py,
+            pz,
+            p,
+            model.rho.as_slice(),
+            e,
+            h,
+            dt,
+            cpml,
+            z0,
+            z1,
+        );
+    });
+}
+
+/// Acoustic 3-D phase 2: pressure from the velocity divergence, in the
+/// configured fused/fissioned form. The fissioned form updates `p` three
+/// times in sequence (once per axis), so the reverse sweep must visit the
+/// axes in the opposite order (`axes_reversed`); the fused form is a single
+/// update and ignores the flag.
+#[allow(clippy::too_many_arguments)]
+fn acoustic3_pressure_phase(
+    s: &mut acoustic3d::Ac3State,
+    model: &AcousticModel3,
+    cpml: &[CpmlAxis; 3],
+    e: Extent3,
+    gangs: usize,
+    dt: f32,
+    config: &OptimizationConfig,
+    axes_reversed: bool,
+) {
+    let h = [model.geom.dx, model.geom.dy, model.geom.dz];
+    match config.fission {
+        seismic_prop::FissionVariant::Fused => {
+            let p = SyncSlice::new(s.p.as_mut_slice());
+            let sx = SyncSlice::new(s.psi_qx.as_mut_slice());
+            let sy = SyncSlice::new(s.psi_qy.as_mut_slice());
+            let sz = SyncSlice::new(s.psi_qz.as_mut_slice());
+            let (qx, qy, qz) = (s.qx.as_slice(), s.qy.as_slice(), s.qz.as_slice());
+            par_slabs(e.nz, gangs, |z0, z1| {
+                acoustic3d::pressure_fused_slab(
+                    p,
+                    sx,
+                    sy,
+                    sz,
+                    qx,
+                    qy,
+                    qz,
+                    model.vp.as_slice(),
+                    model.rho.as_slice(),
+                    e,
+                    h,
+                    dt,
+                    cpml,
+                    z0,
+                    z1,
+                );
+            });
+        }
+        seismic_prop::FissionVariant::Fissioned => {
+            let order: [usize; 3] = if axes_reversed { [2, 1, 0] } else { [0, 1, 2] };
+            for axis in order {
+                let p = SyncSlice::new(s.p.as_mut_slice());
+                let (psi, q) = match axis {
+                    0 => (SyncSlice::new(s.psi_qx.as_mut_slice()), s.qx.as_slice()),
+                    1 => (SyncSlice::new(s.psi_qy.as_mut_slice()), s.qy.as_slice()),
+                    _ => (SyncSlice::new(s.psi_qz.as_mut_slice()), s.qz.as_slice()),
+                };
+                par_slabs(e.nz, gangs, |z0, z1| {
+                    acoustic3d::pressure_axis_slab(
+                        p,
+                        psi,
+                        q,
+                        model.vp.as_slice(),
+                        model.rho.as_slice(),
+                        e,
+                        axis,
+                        h[axis],
+                        dt,
+                        &cpml[axis],
+                        z0,
+                        z1,
+                    );
+                });
+            }
+        }
+    }
 }
 
 /// Gang-parallel elastic 3D step: each of the six kernels is run
@@ -320,6 +383,20 @@ fn elastic_step_gangs(
     model: &ElasticModel3,
     cpml: &[CpmlAxis; 3],
     gangs: usize,
+) {
+    let dt = model.geom.dt;
+    elastic3_velocity_gangs(s, model, cpml, gangs, dt);
+    elastic3_stress_gangs(s, model, cpml, gangs, dt);
+}
+
+/// Elastic 3-D velocity phase (vx, vy, vz kernels — all read only
+/// stresses). `dt` is signed so the reverse sweep can undo the phase.
+fn elastic3_velocity_gangs(
+    s: &mut elastic3d::El3State,
+    model: &ElasticModel3,
+    cpml: &[CpmlAxis; 3],
+    gangs: usize,
+    dt: f32,
 ) {
     let e = s.vx.extent();
     let nz = e.nz;
@@ -345,7 +422,7 @@ fn elastic_step_gangs(
                 model.rho.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
@@ -373,7 +450,7 @@ fn elastic_step_gangs(
                 model.rho.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
@@ -401,13 +478,28 @@ fn elastic_step_gangs(
                 model.rho.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
             );
         });
     }
+}
+
+/// Elastic 3-D stress phase (diagonal, sxy/sxz, syz kernels — all read
+/// only velocities). `dt` is signed.
+fn elastic3_stress_gangs(
+    s: &mut elastic3d::El3State,
+    model: &ElasticModel3,
+    cpml: &[CpmlAxis; 3],
+    gangs: usize,
+    dt: f32,
+) {
+    let e = s.vx.extent();
+    let nz = e.nz;
+    let g = &model.geom;
+    let h = [g.dx, g.dy, g.dz];
     {
         let (_, rest) = s.psi.split_at_mut(9);
         let (a, rest2) = rest.split_at_mut(1);
@@ -434,7 +526,7 @@ fn elastic_step_gangs(
                 model.mu.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
@@ -467,7 +559,7 @@ fn elastic_step_gangs(
                 model.mu.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
@@ -491,7 +583,7 @@ fn elastic_step_gangs(
                 model.mu.as_slice(),
                 e,
                 h,
-                g.dt,
+                dt,
                 cpml,
                 z0,
                 z1,
@@ -655,6 +747,93 @@ mod tests {
             for t in 0..30 {
                 let d = (fused.seismogram.get(r, t) - fiss.seismogram.get(r, t)).abs() as f64;
                 assert!(d < 1e-3 * scale, "r={r} t={t}");
+            }
+        }
+    }
+
+    /// 3-D counterpart of the 2-D reversibility test: through transparent
+    /// boundaries, `inject(−s_t); step_reverse()` reconstructs every forward
+    /// wavefield to f32 roundoff — for all three formulations, and for the
+    /// acoustic path under *both* fission variants (the fissioned reverse
+    /// must re-visit the per-axis updates in the opposite order).
+    #[test]
+    fn step_reverse_reconstructs_forward_states_3d() {
+        let n = 20;
+        let e = extent3(n, n, n);
+        let h = 10.0;
+        let vmax = 3200.0;
+        let geom = |safety| Geometry::uniform(h, stable_dt(8, 3, vmax, h, safety));
+        let layers = standard_layers(n);
+        let tr_d = || DampProfile::transparent(n, e.halo);
+        let tr_c = || CpmlAxis::transparent(n, e.halo);
+        let media: Vec<(&str, Medium3)> = vec![
+            (
+                "iso",
+                Medium3::Iso {
+                    model: iso3_layered(e, &layers, geom(0.7)),
+                    damp: [tr_d(), tr_d(), tr_d()],
+                },
+            ),
+            (
+                "acoustic",
+                Medium3::Acoustic {
+                    model: acoustic3_layered(e, &layers, geom(0.55)),
+                    cpml: [tr_c(), tr_c(), tr_c()],
+                },
+            ),
+            (
+                "elastic",
+                Medium3::Elastic {
+                    model: elastic3_layered(e, &layers, geom(0.5)),
+                    cpml: [tr_c(), tr_c(), tr_c()],
+                },
+            ),
+        ];
+        let w = Wavelet::ricker(25.0);
+        let steps = 30;
+        for (name, medium) in &media {
+            let variants: &[seismic_prop::FissionVariant] = if *name == "acoustic" {
+                &[
+                    seismic_prop::FissionVariant::Fused,
+                    seismic_prop::FissionVariant::Fissioned,
+                ]
+            } else {
+                &[seismic_prop::FissionVariant::Fissioned]
+            };
+            for &fission in variants {
+                let cfg = OptimizationConfig {
+                    fission,
+                    ..OptimizationConfig::default()
+                };
+                let dt = medium.dt();
+                let mut s = State3::new(medium);
+                let mut stored = Vec::new();
+                let mut peak = 0.0f32;
+                for t in 0..steps {
+                    s.step(medium, &cfg, 3);
+                    s.inject(medium, n / 2, n / 2, n / 2, w.sample(t as f32 * dt));
+                    let mut f = Field3::zeros(e);
+                    s.write_wavefield_into(&mut f);
+                    peak = peak.max(f.max_abs());
+                    stored.push(f);
+                }
+                let mut recon = Field3::zeros(e);
+                for t in (1..steps).rev() {
+                    s.inject(medium, n / 2, n / 2, n / 2, -w.sample(t as f32 * dt));
+                    s.step_reverse(medium, &cfg, 3);
+                    recon.fill_zero();
+                    s.write_wavefield_into(&mut recon);
+                    let max_d = recon
+                        .as_slice()
+                        .iter()
+                        .zip(stored[t - 1].as_slice())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f32, f32::max);
+                    assert!(
+                        max_d / peak < 1e-3,
+                        "{name}/{fission:?} step {t}: error {max_d} vs peak {peak}"
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,658 @@
+//! Random-boundary RTM: checkpoint-free source-wavefield reconstruction.
+//!
+//! [`crate::rtm`] stores forward snapshots and [`crate::checkpoint`] trades
+//! that storage for recompute; both keep *some* stored state whose size
+//! grows with the run. This module removes the storage entirely with the
+//! random-boundary method: the source wavefield is propagated forward
+//! through a medium whose absorbing layer is replaced by a seeded
+//! **randomized-velocity halo** over **transparent** (lossless) absorbers
+//! ([`randomize_medium2`]/[`randomize_medium3`]), and during migration the
+//! same propagation is run *backward in time* from its final state
+//! ([`crate::modeling::State2::step_reverse`]). Because the randomized
+//! medium dissipates nothing, the reversed propagation reconstructs the
+//! forward states step for step, and the imaging condition correlates the
+//! reconstructed source field with the receiver field in lockstep — no
+//! snapshots, no checkpoints, no per-segment replay buffers.
+//!
+//! The randomized halo exists to scramble what the absorbing layer used to
+//! remove: energy hitting the boundary scatters off the velocity jitter
+//! into incoherent noise instead of reflecting coherently back across the
+//! reflectors, and incoherent noise stacks out of the cross-correlation
+//! image. The receiver field still propagates through the **original
+//! absorbing medium** — only the source propagation (forward and
+//! reconstructed) uses the randomized one.
+//!
+//! Costs and guarantees:
+//!
+//! * memory: two resident propagation states (source + receiver) and the
+//!   image — `O(1)` in `steps` (see
+//!   `seismic_model::footprint::rtm_breakdown`),
+//! * compute: one extra source propagation (the backward reconstruction),
+//!   the same price checkpointing pays for its replay,
+//! * determinism: the halo is a pure function of `(seed, cell)` and the
+//!   propagators are bitwise deterministic, so a fixed
+//!   [`RandomBoundarySpec`] reproduces the image **bit for bit** across
+//!   reruns, gang counts, and resilient-executor restarts,
+//! * the time loops allocate nothing after setup: states are stepped in
+//!   place and the image accumulates into one preallocated field.
+
+use crate::case::OptimizationConfig;
+use crate::error::{ConfigError, RtmError};
+use crate::modeling::{run_modeling, Medium2, State2};
+use crate::modeling3::{Medium3, State3};
+use crate::rtm::{medium_surface_params, mute_direct, RtmResult};
+use crate::rtm3::{medium_params3, mute_direct3, Rtm3Result};
+use acc_obs::{ObsSession, Span, SpanCat, Track};
+use seismic_grid::{Field2, Field3};
+use seismic_model::random_boundary as rb;
+use seismic_pml::{CpmlAxis, DampProfile, RandomBoundarySpec};
+use seismic_source::{Acquisition2, Acquisition3, Seismogram, Wavelet};
+
+/// Replace a 2-D medium's absorbing machinery with transparent absorbers
+/// and a seeded randomized-velocity halo. The interior model is untouched;
+/// the returned medium is what the source propagation (forward and
+/// time-reversed) runs through.
+pub fn randomize_medium2(medium: &Medium2, spec: &RandomBoundarySpec) -> Medium2 {
+    let e = medium.extent();
+    match medium {
+        Medium2::Iso { model, .. } => Medium2::Iso {
+            model: rb::randomize_iso2(model, spec),
+            damp_x: DampProfile::transparent(e.nx, e.halo),
+            damp_z: DampProfile::transparent(e.nz, e.halo),
+        },
+        Medium2::Acoustic { model, .. } => Medium2::Acoustic {
+            model: rb::randomize_acoustic2(model, spec),
+            cpml: [
+                CpmlAxis::transparent(e.nx, e.halo),
+                CpmlAxis::transparent(e.nz, e.halo),
+            ],
+        },
+        Medium2::Elastic { model, .. } => Medium2::Elastic {
+            model: rb::randomize_elastic2(model, spec),
+            cpml: [
+                CpmlAxis::transparent(e.nx, e.halo),
+                CpmlAxis::transparent(e.nz, e.halo),
+            ],
+        },
+        Medium2::Vti { model, .. } => Medium2::Vti {
+            model: rb::randomize_vti2(model, spec),
+            damp_x: DampProfile::transparent(e.nx, e.halo),
+            damp_z: DampProfile::transparent(e.nz, e.halo),
+        },
+    }
+}
+
+/// 3-D analogue of [`randomize_medium2`].
+pub fn randomize_medium3(medium: &Medium3, spec: &RandomBoundarySpec) -> Medium3 {
+    let e = medium.extent();
+    match medium {
+        Medium3::Iso { model, .. } => Medium3::Iso {
+            model: rb::randomize_iso3(model, spec),
+            damp: [
+                DampProfile::transparent(e.nx, e.halo),
+                DampProfile::transparent(e.ny, e.halo),
+                DampProfile::transparent(e.nz, e.halo),
+            ],
+        },
+        Medium3::Acoustic { model, .. } => Medium3::Acoustic {
+            model: rb::randomize_acoustic3(model, spec),
+            cpml: [
+                CpmlAxis::transparent(e.nx, e.halo),
+                CpmlAxis::transparent(e.ny, e.halo),
+                CpmlAxis::transparent(e.nz, e.halo),
+            ],
+        },
+        Medium3::Elastic { model, .. } => Medium3::Elastic {
+            model: rb::randomize_elastic3(model, spec),
+            cpml: [
+                CpmlAxis::transparent(e.nx, e.halo),
+                CpmlAxis::transparent(e.ny, e.halo),
+                CpmlAxis::transparent(e.nz, e.halo),
+            ],
+        },
+    }
+}
+
+/// Backward phase with checkpoint-free source reconstruction: migrate a
+/// recorded (muted) shot with **zero snapshot storage**. The source field
+/// is propagated forward through the randomized medium (storing nothing),
+/// then both fields walk backward in lockstep — the source by exact time
+/// reversal, the receiver by ordinary back-propagation — and the imaging
+/// condition fires at every `snap_period`-th step, exactly the times
+/// [`crate::rtm::migrate_shot`] images at.
+#[allow(clippy::too_many_arguments)]
+pub fn migrate_random_boundary(
+    medium: &Medium2,
+    acq: &Acquisition2,
+    seismogram: &Seismogram,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+) -> Result<Field2, RtmError> {
+    migrate_random_boundary_obs(
+        medium,
+        acq,
+        seismogram,
+        wavelet,
+        config,
+        steps,
+        snap_period,
+        spec,
+        gangs,
+        None,
+    )
+}
+
+/// Emit one remodeling phase span on the host track (wall-clock seconds;
+/// observability never changes the image) and return the phase end time.
+fn remodel_span(obs: Option<&ObsSession>, name: &'static str, start_s: f64, dur_s: f64) -> f64 {
+    if let Some(o) = obs {
+        o.span(Span::new(Track::Host, SpanCat::Phase, name, start_s, dur_s));
+    }
+    start_s + dur_s
+}
+
+/// [`migrate_random_boundary`] with an optional observability session:
+/// `remodel_forward` / `remodel_backward` phase spans plus a
+/// `checkpoint_bytes_avoided` counter — the snapshot bytes a dense
+/// [`crate::rtm::migrate_shot`] of the same run would have stored.
+#[allow(clippy::too_many_arguments)]
+pub fn migrate_random_boundary_obs(
+    medium: &Medium2,
+    acq: &Acquisition2,
+    seismogram: &Seismogram,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+    obs: Option<&ObsSession>,
+) -> Result<Field2, RtmError> {
+    if steps == 0 {
+        return Err(ConfigError::ZeroSteps.into());
+    }
+    let e = medium.extent();
+    let dt = medium.dt();
+    let rmedium = randomize_medium2(medium, spec);
+
+    // Forward source pass through the randomized, lossless medium. Nothing
+    // is stored: the final state *is* the storage.
+    let wall = std::time::Instant::now();
+    let mut sstate = State2::new(&rmedium);
+    for t in 0..steps {
+        sstate.step(&rmedium, config, gangs);
+        sstate.inject(
+            &rmedium,
+            acq.src_ix,
+            acq.src_iz,
+            wavelet.sample(t as f32 * dt),
+        );
+    }
+    let bwd_start = remodel_span(obs, "remodel_forward", 0.0, wall.elapsed().as_secs_f64());
+
+    // Lockstep backward walk. At the top of iteration `t`, `sstate` holds
+    // the forward state after step `t` (what the dense driver snapshotted)
+    // and `rstate` has absorbed the receiver data of steps `t+1..steps` —
+    // the exact pairing of `migrate_shot`'s imaging condition.
+    let wall = std::time::Instant::now();
+    let mut image = Field2::zeros(e);
+    let mut rstate = State2::new(medium);
+    for t in (0..steps).rev() {
+        if t % snap_period == 0 {
+            for iz in 0..e.nz {
+                for ix in 0..e.nx {
+                    let v = image.get(ix, iz) + sstate.sample(ix, iz) * rstate.sample(ix, iz);
+                    image.set(ix, iz, v);
+                }
+            }
+        }
+        // Undo forward body `t` on the source field: remove the injection,
+        // then reverse the step (lossless medium ⇒ exact up to roundoff).
+        sstate.inject(
+            &rmedium,
+            acq.src_ix,
+            acq.src_iz,
+            -wavelet.sample(t as f32 * dt),
+        );
+        sstate.step_reverse(&rmedium, config, gangs);
+        rstate.step(medium, config, gangs);
+        for (r, rcv) in acq.receivers.iter().enumerate() {
+            rstate.inject(medium, rcv.ix, rcv.iz, seismogram.get(r, t));
+        }
+    }
+    remodel_span(
+        obs,
+        "remodel_backward",
+        bwd_start,
+        wall.elapsed().as_secs_f64(),
+    );
+    if let Some(o) = obs {
+        let snap_bytes = (image.as_slice().len() * 4) as u64;
+        let n_snaps = steps.div_ceil(snap_period) as u64;
+        o.registry
+            .inc("checkpoint_bytes_avoided", n_snaps * snap_bytes);
+    }
+    Ok(image)
+}
+
+/// Run random-boundary RTM for one shot: forward modeling through the
+/// **original absorbing** medium records the shot (the acquisition is
+/// unchanged by the migration backend), the direct wave is muted, and the
+/// shot is migrated checkpoint-free. `snapshots_saved` is 0 by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rtm_random_boundary(
+    medium: &Medium2,
+    acq: &Acquisition2,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+) -> Result<RtmResult, RtmError> {
+    // Snapshot period `steps` keeps the forward driver from accumulating
+    // the snapshot stream this subsystem exists to avoid.
+    let fwd = run_modeling(medium, acq, wavelet, config, steps, steps, gangs);
+    let (h, v_src, dt) = medium_surface_params(medium, acq);
+    let taper = 2.4 / wavelet.f_peak();
+    let muted = mute_direct(&fwd.seismogram, acq, h, v_src, dt, taper);
+    let image = migrate_random_boundary(
+        medium,
+        acq,
+        &muted,
+        wavelet,
+        config,
+        steps,
+        snap_period,
+        spec,
+        gangs,
+    )?;
+    Ok(RtmResult {
+        image,
+        seismogram: muted,
+        snapshots_saved: 0,
+    })
+}
+
+/// 3-D [`migrate_random_boundary`]: volumetric lockstep correlation with
+/// zero snapshot volumes — the configuration where dense storage hurts
+/// most (each snapshot is a full `nx·ny·nz` volume).
+#[allow(clippy::too_many_arguments)]
+pub fn migrate_random_boundary3(
+    medium: &Medium3,
+    acq: &Acquisition3,
+    seismogram: &Seismogram,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+) -> Result<Field3, RtmError> {
+    if steps == 0 {
+        return Err(ConfigError::ZeroSteps.into());
+    }
+    let e = medium.extent();
+    let dt = medium.dt();
+    let rmedium = randomize_medium3(medium, spec);
+
+    let mut sstate = State3::new(&rmedium);
+    for t in 0..steps {
+        sstate.step(&rmedium, config, gangs);
+        sstate.inject(
+            &rmedium,
+            acq.src_ix,
+            acq.src_iy,
+            acq.src_iz,
+            wavelet.sample(t as f32 * dt),
+        );
+    }
+
+    let mut image = Field3::zeros(e);
+    let mut rstate = State3::new(medium);
+    for t in (0..steps).rev() {
+        if t % snap_period == 0 {
+            for iz in 0..e.nz {
+                for iy in 0..e.ny {
+                    for ix in 0..e.nx {
+                        let v = image.get(ix, iy, iz)
+                            + sstate.sample(ix, iy, iz) * rstate.sample(ix, iy, iz);
+                        image.set(ix, iy, iz, v);
+                    }
+                }
+            }
+        }
+        sstate.inject(
+            &rmedium,
+            acq.src_ix,
+            acq.src_iy,
+            acq.src_iz,
+            -wavelet.sample(t as f32 * dt),
+        );
+        sstate.step_reverse(&rmedium, config, gangs);
+        rstate.step(medium, config, gangs);
+        for (r, rcv) in acq.receivers.iter().enumerate() {
+            rstate.inject(medium, rcv.ix, rcv.iy, rcv.iz, seismogram.get(r, t));
+        }
+    }
+    Ok(image)
+}
+
+/// 3-D [`run_rtm_random_boundary`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_rtm_random_boundary3(
+    medium: &Medium3,
+    acq: &Acquisition3,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+) -> Result<Rtm3Result, RtmError> {
+    if steps == 0 {
+        return Err(ConfigError::ZeroSteps.into());
+    }
+    let dt = medium.dt();
+    let mut fstate = State3::new(medium);
+    let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
+    for t in 0..steps {
+        fstate.step(medium, config, gangs);
+        fstate.inject(
+            medium,
+            acq.src_ix,
+            acq.src_iy,
+            acq.src_iz,
+            wavelet.sample(t as f32 * dt),
+        );
+        for (r, rcv) in acq.receivers.iter().enumerate() {
+            seismogram.record(r, t, fstate.sample(rcv.ix, rcv.iy, rcv.iz));
+        }
+    }
+    let (h, v_src, dtm) = medium_params3(medium, acq);
+    let taper = 2.4 / wavelet.f_peak();
+    let muted = mute_direct3(&seismogram, acq, h, v_src, dtm, taper);
+    let image = migrate_random_boundary3(
+        medium,
+        acq,
+        &muted,
+        wavelet,
+        config,
+        steps,
+        snap_period,
+        spec,
+        gangs,
+    )?;
+    Ok(Rtm3Result {
+        image,
+        seismogram: muted,
+        snapshots_saved: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::migrate_checkpointed;
+    use crate::rtm::{depth_profile, laplacian_filter};
+    use seismic_grid::cfl::stable_dt;
+    use seismic_model::builder::{acoustic2_layered, acoustic3_layered, Layer};
+    use seismic_model::{extent2, extent3, Geometry};
+    use seismic_pml::CpmlAxis;
+
+    fn two_layer(n: usize, z_if: usize) -> Medium2 {
+        let e = extent2(n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 2, 3000.0, h, 0.6);
+        let layers = [
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: z_if,
+                vp: 3000.0,
+                vs: 0.0,
+                rho: 2400.0,
+            },
+        ];
+        let model = acoustic2_layered(e, &layers, Geometry::uniform(h, dt));
+        let c = CpmlAxis::new(n, e.halo, 10, dt, 3000.0, h, 1e-4);
+        Medium2::Acoustic {
+            model,
+            cpml: [c.clone(), c],
+        }
+    }
+
+    fn spec() -> RandomBoundarySpec {
+        RandomBoundarySpec::new(10, 4242)
+    }
+
+    /// The randomized medium keeps the interior model and geometry; only
+    /// the halo strip scatters.
+    #[test]
+    fn randomized_medium_keeps_interior() {
+        let n = 64;
+        let m = two_layer(n, n / 2);
+        let r = randomize_medium2(&m, &spec());
+        assert_eq!(r.extent(), m.extent());
+        assert_eq!(r.dt(), m.dt());
+        let (Medium2::Acoustic { model: rm, .. }, Medium2::Acoustic { model: om, .. }) = (&r, &m)
+        else {
+            panic!("formulation changed");
+        };
+        assert_eq!(rm.vp.get(n / 2, n / 2), om.vp.get(n / 2, n / 2));
+        assert_eq!(rm.rho.as_slice(), om.rho.as_slice());
+        // The edge strip is actually perturbed somewhere.
+        let perturbed = (0..n).any(|ix| rm.vp.get(ix, 0) != om.vp.get(ix, 0));
+        assert!(perturbed, "halo unperturbed");
+    }
+
+    /// The headline determinism contract: a fixed seed reproduces the image
+    /// bit for bit; a different seed does not.
+    #[test]
+    fn same_seed_same_image_bitwise() {
+        let n = 64;
+        let m = two_layer(n, n / 2);
+        let acq = Acquisition2::surface_line(n, n / 2, 5, 5, 4);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(20.0);
+        let run = |s: &RandomBoundarySpec| {
+            run_rtm_random_boundary(&m, &acq, &w, &cfg, 240, 4, s, 3)
+                .unwrap()
+                .image
+        };
+        let a = run(&spec());
+        let b = run(&spec());
+        assert_eq!(a, b, "fixed seed must be bitwise reproducible");
+        let c = run(&RandomBoundarySpec::new(10, 4243));
+        assert_ne!(a, c, "a different seed must change the image");
+    }
+
+    /// Gang count must not change a single bit (coordinate-hashed halo +
+    /// deterministic kernels).
+    #[test]
+    fn gang_invariance_of_image() {
+        let n = 64;
+        let m = two_layer(n, 32);
+        let acq = Acquisition2::surface_line(n, n / 2, 5, 5, 4);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(20.0);
+        let s = spec();
+        let a = run_rtm_random_boundary(&m, &acq, &w, &cfg, 120, 4, &s, 1).unwrap();
+        let b = run_rtm_random_boundary(&m, &acq, &w, &cfg, 120, 4, &s, 6).unwrap();
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.snapshots_saved, 0);
+    }
+
+    /// The checkpoint-free image still finds the reflector, and stays close
+    /// to the checkpointed reference: the boundary difference (randomized
+    /// halo vs C-PML) is bounded incoherent noise, not a structural change.
+    #[test]
+    fn image_close_to_checkpointed_reference() {
+        let n = 96;
+        let z_if = 48;
+        let m = two_layer(n, z_if);
+        let acq = Acquisition2::surface_line(n, n / 2, 6, 6, 2);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(18.0);
+        let steps = 700;
+        let snap = 3;
+
+        let fwd = run_modeling(&m, &acq, &w, &cfg, steps, steps, 4);
+        let (h, v, dt) = medium_surface_params(&m, &acq);
+        let muted = mute_direct(&fwd.seismogram, &acq, h, v, dt, 2.4 / 18.0);
+        let reference =
+            migrate_checkpointed(&m, &acq, &muted, &w, &cfg, steps, snap, 6, 4).unwrap();
+        let rand =
+            migrate_random_boundary(&m, &acq, &muted, &w, &cfg, steps, snap, &spec(), 4).unwrap();
+
+        // Both images peak at the reflector.
+        let peak_depth = |img: &Field2| {
+            let prof = depth_profile(&laplacian_filter(img, 10.0, 10.0));
+            prof.iter()
+                .enumerate()
+                .skip(20)
+                .take(n - 40)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        let z_ref = peak_depth(&reference);
+        let z_rand = peak_depth(&rand);
+        assert!(
+            (z_rand as isize - z_if as isize).unsigned_abs() <= 6,
+            "random-boundary peak at z = {z_rand}, reflector at {z_if}"
+        );
+        assert!(
+            (z_rand as isize - z_ref as isize).unsigned_abs() <= 4,
+            "peaks disagree: random {z_rand} vs checkpointed {z_ref}"
+        );
+
+        // Bounded delta: relative L2 difference well below the signal.
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for (a, b) in rand.as_slice().iter().zip(reference.as_slice()) {
+            num += ((a - b) as f64).powi(2);
+            den += (*b as f64).powi(2);
+        }
+        let rel = (num / den.max(1e-300)).sqrt();
+        assert!(rel < 0.8, "image delta too large: rel L2 = {rel}");
+        assert!(rel > 0.0, "images cannot be identical across backends");
+    }
+
+    /// The obs variant reports the avoided snapshot traffic and a serial
+    /// host timeline, without perturbing the image.
+    #[test]
+    fn obs_counts_avoided_checkpoint_bytes() {
+        let n = 48;
+        let m = two_layer(n, n / 2);
+        let acq = Acquisition2::surface_line(n, n / 2, 5, 5, 4);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(20.0);
+        let steps = 60;
+        let snap = 4;
+        let fwd = run_modeling(&m, &acq, &w, &cfg, steps, steps, 2);
+        let obs = ObsSession::new();
+        let plain =
+            migrate_random_boundary(&m, &acq, &fwd.seismogram, &w, &cfg, steps, snap, &spec(), 2)
+                .unwrap();
+        let traced = migrate_random_boundary_obs(
+            &m,
+            &acq,
+            &fwd.seismogram,
+            &w,
+            &cfg,
+            steps,
+            snap,
+            &spec(),
+            2,
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(plain, traced, "observation must not perturb the image");
+        let field_bytes = (plain.as_slice().len() * 4) as u64;
+        assert_eq!(
+            obs.registry.counter("checkpoint_bytes_avoided"),
+            steps.div_ceil(snap) as u64 * field_bytes
+        );
+        assert_eq!(obs.registry.counter("checkpoints_written"), 0);
+        let names: Vec<_> = obs.tracer.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"remodel_forward".to_string()));
+        assert!(names.contains(&"remodel_backward".to_string()));
+        obs.tracer.validate_tracks().expect("serial host track");
+    }
+
+    #[test]
+    fn zero_steps_is_a_typed_error() {
+        let n = 32;
+        let m = two_layer(n, 16);
+        let acq = Acquisition2::surface_line(n, n / 2, 3, 5, 4);
+        let seis = Seismogram::zeros(acq.n_receivers(), 1);
+        let r = migrate_random_boundary(
+            &m,
+            &acq,
+            &seis,
+            &Wavelet::ricker(20.0),
+            &OptimizationConfig::default(),
+            0,
+            4,
+            &spec(),
+            2,
+        );
+        assert_eq!(r.unwrap_err(), RtmError::Config(ConfigError::ZeroSteps));
+    }
+
+    /// 3-D: fixed seed ⇒ bitwise-identical volume, zero snapshots, and a
+    /// nontrivial image.
+    #[test]
+    fn volume_image_is_seed_deterministic() {
+        let n = 36;
+        let e = extent3(n, n, n);
+        let h = 10.0;
+        let dt = stable_dt(8, 3, 3000.0, h, 0.55);
+        let layers = [
+            Layer {
+                z_top: 0,
+                vp: 1500.0,
+                vs: 0.0,
+                rho: 1000.0,
+            },
+            Layer {
+                z_top: n / 2,
+                vp: 3000.0,
+                vs: 0.0,
+                rho: 2400.0,
+            },
+        ];
+        let model = acoustic3_layered(e, &layers, Geometry::uniform(h, dt));
+        let c = CpmlAxis::new(n, e.halo, 8, dt, 3000.0, h, 1e-4);
+        let medium = Medium3::Acoustic {
+            model,
+            cpml: [c.clone(), c.clone(), c],
+        };
+        let acq = Acquisition3::surface_patch(n, n, (n / 2, n / 2, 4), 4, 3);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(18.0);
+        let s = RandomBoundarySpec::new(6, 99);
+        let a = run_rtm_random_boundary3(&medium, &acq, &w, &cfg, 220, 3, &s, 4).unwrap();
+        let b = run_rtm_random_boundary3(&medium, &acq, &w, &cfg, 220, 3, &s, 2).unwrap();
+        assert_eq!(a.snapshots_saved, 0);
+        assert_eq!(
+            a.image, b.image,
+            "fixed seed, any gang count: bitwise-identical volume"
+        );
+        let peak = a
+            .image
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(peak > 0.0 && peak.is_finite());
+    }
+}

@@ -32,6 +32,7 @@ use crate::case::OptimizationConfig;
 use crate::error::{ConfigError, RtmError};
 use crate::modeling::{Medium2, State2};
 use crate::multi_gpu::{modeling_time_multi, CommMode, GhostPacking, MultiGpuTiming};
+use crate::rand_boundary::migrate_random_boundary;
 use crate::rtm::{migrate_shot, mute_direct, run_rtm, RtmResult};
 use crate::shot_parallel::{shots_for_rank, Shot};
 use acc_obs::{ObsSession, Span, SpanCat, Track};
@@ -41,7 +42,7 @@ use mpi_sim::comm::Communicator;
 use openacc_sim::Compiler;
 use seismic_grid::Field2;
 use seismic_model::IsoModel2;
-use seismic_pml::DampProfile;
+use seismic_pml::{DampProfile, RandomBoundarySpec};
 use seismic_source::{Seismogram, Wavelet};
 use std::collections::VecDeque;
 
@@ -873,6 +874,109 @@ fn run_rtm_with_restart_at(
     })
 }
 
+/// Outcome of a checkpoint-restarted random-boundary RTM run.
+pub struct RandBoundRestartOutcome {
+    /// The migrated result — bitwise-identical to an uninterrupted
+    /// [`run_rtm_random_boundary`] of the same shot and seed.
+    pub result: RtmResult,
+    /// Forward acquisition steps executed, including replayed ones.
+    pub forward_steps_executed: usize,
+    /// Checkpoint restores performed (one per interrupt).
+    pub restores: usize,
+}
+
+/// [`crate::rand_boundary::run_rtm_random_boundary`] with an
+/// interruptible, checkpointed forward
+/// acquisition pass (the recorded-data modeling run): a full propagation
+/// state is stored every `ckpt_every` steps and each entry of `interrupts`
+/// kills the pass once when it first reaches that step. The migration
+/// itself stores nothing to restart *from* — its source wavefield is a
+/// pure function of the seed — so a restarted shot reproduces the
+/// uninterrupted image **bit for bit** for a fixed
+/// [`RandomBoundarySpec`]: replay overwrites are idempotent and the
+/// randomized halo is a pure function of `(seed, cell)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rand_boundary_with_restart(
+    medium: &Medium2,
+    acq: &Shot,
+    wavelet: &Wavelet,
+    config: &OptimizationConfig,
+    steps: usize,
+    snap_period: usize,
+    spec: &RandomBoundarySpec,
+    gangs: usize,
+    ckpt_every: usize,
+    interrupts: &[usize],
+) -> Result<RandBoundRestartOutcome, RtmError> {
+    if ckpt_every == 0 {
+        return Err(ConfigError::ZeroSlots.into());
+    }
+    if steps == 0 {
+        return Err(ConfigError::ZeroSteps.into());
+    }
+    let dt = medium.dt();
+    let mut state = State2::new(medium);
+    let mut ckpt_step = 0usize;
+    let mut ckpt_state = State2::new(medium);
+    let mut seismogram = Seismogram::zeros(acq.n_receivers(), steps);
+    let mut pending: Vec<usize> = interrupts.iter().copied().filter(|&i| i < steps).collect();
+    pending.sort_unstable();
+    let mut next_interrupt = 0usize;
+    let mut executed = 0usize;
+    let mut restores = 0usize;
+
+    let mut t = 0usize;
+    while t < steps {
+        if next_interrupt < pending.len() && pending[next_interrupt] == t {
+            next_interrupt += 1;
+            restores += 1;
+            state.copy_from(&ckpt_state);
+            t = ckpt_step;
+            continue;
+        }
+        if t.is_multiple_of(ckpt_every) {
+            ckpt_step = t;
+            ckpt_state.copy_from(&state);
+        }
+        state.step(medium, config, gangs);
+        state.inject(
+            medium,
+            acq.src_ix,
+            acq.src_iz,
+            wavelet.sample(t as f32 * dt),
+        );
+        for (r, rcv) in acq.receivers.iter().enumerate() {
+            seismogram.record(r, t, state.sample(rcv.ix, rcv.iz));
+        }
+        executed += 1;
+        t += 1;
+    }
+
+    let (h, v_src, dtf) = crate::rtm::medium_surface_params(medium, acq);
+    let taper = 2.4 / wavelet.f_peak();
+    let muted = mute_direct(&seismogram, acq, h, v_src, dtf, taper);
+    let image = migrate_random_boundary(
+        medium,
+        acq,
+        &muted,
+        wavelet,
+        config,
+        steps,
+        snap_period,
+        spec,
+        gangs,
+    )?;
+    Ok(RandBoundRestartOutcome {
+        result: RtmResult {
+            image,
+            seismogram: muted,
+            snapshots_saved: 0,
+        },
+        forward_steps_executed: executed,
+        restores,
+    })
+}
+
 /// [`modeling_time_multi`] under a fault plan: devices already lost are
 /// dropped (the run degrades to the survivors), and transient allocation
 /// failures retry with backoff. Returns the timing on the surviving card
@@ -1326,6 +1430,57 @@ mod tests {
         assert!(planned.forward_steps_executed < zero.forward_steps_executed);
         assert_eq!(planned.result.image, plain.image);
         assert_eq!(planned.result.seismogram, plain.seismogram);
+    }
+
+    /// Random-boundary shots survive interrupts with the same guarantee as
+    /// checkpointed ones: the restarted run's image is bitwise-identical to
+    /// the uninterrupted run for a fixed seed, with strictly less recompute
+    /// than restarting from zero.
+    #[test]
+    fn rand_boundary_restart_is_bitwise_identical() {
+        let n = 48;
+        let m = medium(n);
+        let cfg = OptimizationConfig::default();
+        let w = Wavelet::ricker(20.0);
+        let acq = Acquisition2::surface_line(n, n / 2, 5, 5, 3);
+        let steps = 160;
+        let spec = RandomBoundarySpec::new(8, 2024);
+        let interrupts = [140usize];
+
+        let plain =
+            crate::rand_boundary::run_rtm_random_boundary(&m, &acq, &w, &cfg, steps, 4, &spec, 2)
+                .unwrap();
+        let ck =
+            run_rand_boundary_with_restart(&m, &acq, &w, &cfg, steps, 4, &spec, 2, 25, &interrupts)
+                .unwrap();
+        let zero = run_rand_boundary_with_restart(
+            &m,
+            &acq,
+            &w,
+            &cfg,
+            steps,
+            4,
+            &spec,
+            2,
+            steps,
+            &interrupts,
+        )
+        .unwrap();
+
+        assert_eq!(ck.restores, 1);
+        assert_eq!(ck.forward_steps_executed, steps + (140 - 125));
+        assert_eq!(zero.forward_steps_executed, steps + 140);
+        assert!(ck.forward_steps_executed < zero.forward_steps_executed);
+        assert_eq!(ck.result.image, plain.image, "restart must not change bits");
+        assert_eq!(ck.result.seismogram, plain.seismogram);
+        assert_eq!(zero.result.image, plain.image);
+        assert_eq!(ck.result.snapshots_saved, 0);
+        // Clean run does no replay.
+        let clean = run_rand_boundary_with_restart(&m, &acq, &w, &cfg, steps, 4, &spec, 2, 25, &[])
+            .unwrap();
+        assert_eq!(clean.forward_steps_executed, steps);
+        assert_eq!(clean.restores, 0);
+        assert_eq!(clean.result.image, plain.image);
     }
 
     #[test]

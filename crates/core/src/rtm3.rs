@@ -24,7 +24,7 @@ pub struct Rtm3Result {
 }
 
 /// Grid spacing, near-source velocity, and dt of a 3D medium.
-fn medium_params(medium: &Medium3, acq: &Acquisition3) -> (f32, f32, f32) {
+pub(crate) fn medium_params3(medium: &Medium3, acq: &Acquisition3) -> (f32, f32, f32) {
     let (ix, iy, iz) = (acq.src_ix, acq.src_iy, acq.src_iz);
     match medium {
         Medium3::Iso { model, .. } => (model.geom.dx, model.vp.get(ix, iy, iz), model.geom.dt),
@@ -105,7 +105,7 @@ pub fn run_rtm3(
         }
     }
 
-    let (h, v_src, dt) = medium_params(medium, acq);
+    let (h, v_src, dt) = medium_params3(medium, acq);
     let taper = 2.4 / wavelet.f_peak();
     let muted = mute_direct3(&seismogram, acq, h, v_src, dt, taper);
 

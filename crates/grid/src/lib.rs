@@ -18,7 +18,9 @@
 //! * [`deriv`] — reference derivative operators built from those tables,
 //! * [`cfl`] — Courant–Friedrichs–Lewy stability helpers,
 //! * [`dispersion`] — von Neumann phase-velocity analysis of the stencils,
-//! * [`Extent2`] / [`Extent3`] — index-space bookkeeping (interior vs halo).
+//! * [`Extent2`] / [`Extent3`] — index-space bookkeeping (interior vs halo),
+//! * [`rng`] — dependency-free SplitMix64 and coordinate hashes for the
+//!   seeded random-boundary construction (bitwise reproducible by design).
 //!
 //! Everything here is deliberately scalar and allocation-free in the hot path;
 //! parallel execution lives in `openacc-sim` / `mpi-sim`, which iterate over
@@ -31,6 +33,7 @@ pub mod extent;
 pub mod fd;
 pub mod field2;
 pub mod field3;
+pub mod rng;
 pub mod sync_slice;
 
 pub use extent::{Extent2, Extent3};

@@ -1,0 +1,150 @@
+//! Dependency-free deterministic pseudo-random numbers for boundary
+//! construction.
+//!
+//! The random-boundary migration path (Barbosa & Coutinho) needs a velocity
+//! perturbation that is **bitwise reproducible**: the same seed must build the
+//! same boundary on every platform, every rerun, and every resilient-executor
+//! restart, or the reconstructed source wavefield (and therefore the stacked
+//! image) drifts. Pulling in the `rand` crate would tie reproducibility to an
+//! external dependency's version; instead this module carries the ~10 lines of
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA'14 — the `java.util.SplittableRandom`
+//! finalizer) with a golden-output test pinning the stream forever.
+//!
+//! Two usage modes:
+//!
+//! * [`SplitMix64`] — a sequential stream, for callers that iterate in a fixed
+//!   order;
+//! * [`hash2`] / [`hash3`] — stateless coordinate hashes, so a perturbation at
+//!   grid point `(ix, iz)` is a pure function of `(seed, ix, iz)` and does not
+//!   depend on traversal order (slab decompositions and gang counts cannot
+//!   change it).
+
+/// Golden-ratio increment of the SplitMix64 stream.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output finalizer: a bijective avalanche mix of 64 bits.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform `f32` in `[0, 1)` using the top 24 bits (the full
+/// mantissa width, so every representable value in the grid is reachable and
+/// the mapping is exact in one rounding step).
+#[inline]
+pub fn unit_f32(h: u64) -> f32 {
+    const SCALE: f32 = 1.0 / (1u64 << 24) as f32;
+    (h >> 40) as f32 * SCALE
+}
+
+/// Stateless hash of a seed and a 2-D grid coordinate. Pure and
+/// traversal-order independent: perturbing cells in any order, from any slab
+/// decomposition, yields the same value per cell.
+#[inline]
+pub fn hash2(seed: u64, ix: usize, iz: usize) -> u64 {
+    let mut h = seed ^ GOLDEN_GAMMA;
+    h = mix64(h ^ (ix as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    mix64(h ^ (iz as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25))
+}
+
+/// Stateless hash of a seed and a 3-D grid coordinate (see [`hash2`]).
+#[inline]
+pub fn hash3(seed: u64, ix: usize, iy: usize, iz: usize) -> u64 {
+    let mut h = seed ^ GOLDEN_GAMMA;
+    h = mix64(h ^ (ix as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    h = mix64(h ^ (iy as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    mix64(h ^ (iz as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25))
+}
+
+/// The SplitMix64 sequential generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed` (the canonical SplitMix64 stream for that
+    /// seed — no pre-mixing, so golden vectors from the reference
+    /// implementation apply directly).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Next uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_unit_f32(&mut self) -> f32 {
+        unit_f32(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seed-stability golden test: the first outputs of the canonical
+    /// SplitMix64 stream for seed 0 and seed 1234567, as published by the
+    /// reference implementation. If this test ever fails, the random
+    /// boundary of every archived image has silently changed — fix the
+    /// generator, never the constants.
+    #[test]
+    fn splitmix64_golden_outputs_are_stable() {
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+        assert_eq!(r.next_u64(), 0xF88B_B8A8_724C_81EC);
+
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(r.next_u64(), 0x2C73_F084_5854_0FA5);
+    }
+
+    #[test]
+    fn unit_f32_covers_the_half_open_interval() {
+        assert_eq!(unit_f32(0), 0.0);
+        assert!(unit_f32(u64::MAX) < 1.0);
+        let mut r = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let u = r.next_unit_f32();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn coordinate_hashes_are_pure_and_distinct() {
+        // Pure: the same (seed, coord) always hashes identically.
+        assert_eq!(hash2(7, 3, 5), hash2(7, 3, 5));
+        assert_eq!(hash3(7, 3, 5, 9), hash3(7, 3, 5, 9));
+        // Axes are not interchangeable and the seed matters.
+        assert_ne!(hash2(7, 3, 5), hash2(7, 5, 3));
+        assert_ne!(hash2(7, 3, 5), hash2(8, 3, 5));
+        assert_ne!(hash3(7, 3, 5, 9), hash3(7, 9, 5, 3));
+        // A 2-D hash is not the y=0 slice of the 3-D hash (distinct domains).
+        assert_ne!(hash2(7, 3, 5), hash3(7, 3, 0, 5));
+    }
+
+    #[test]
+    fn hashed_units_look_uniform_enough() {
+        // Crude moment check over a boundary-sized population: mean of
+        // U[0,1) within a few percent of 1/2. Not a statistical test suite —
+        // just a tripwire against e.g. dropping the finalizer.
+        let mut sum = 0.0f64;
+        let n = 64 * 64;
+        for ix in 0..64 {
+            for iz in 0..64 {
+                sum += unit_f32(hash2(99, ix, iz)) as f64;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+}

@@ -102,6 +102,142 @@ pub fn rtm_naive_bytes(f: Formulation, d: Dims, points: usize) -> u64 {
     2 * modeling_bytes(f, d, points) + rtm_extra_array_count(f, d) as u64 * points as u64 * 4
 }
 
+/// How the backward pass recovers the source wavefield — the axis the
+/// random-boundary subsystem opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationStrategy {
+    /// Every `snap_period`-th forward wavefield kept resident for the whole
+    /// run (the seed implementation's in-memory snapshot stack).
+    Dense {
+        /// Forward time steps.
+        steps: usize,
+        /// Snapshot save period.
+        snap_period: usize,
+    },
+    /// Griewank/Young-interval checkpointing: `slots` stored propagation
+    /// states plus the replayed snapshots of the longest segment.
+    Checkpointed {
+        /// Stored full propagation states.
+        slots: usize,
+        /// Forward time steps.
+        steps: usize,
+        /// Snapshot save period within a replayed segment.
+        snap_period: usize,
+    },
+    /// Random-boundary remodeling: zero snapshots, zero checkpoints — the
+    /// price is the co-resident source state being re-propagated backward,
+    /// plus the randomized-velocity halo arrays.
+    RandomBoundary {
+        /// Boundary strip depth in grid points.
+        width: usize,
+    },
+}
+
+/// Per-component device-memory breakdown of one migration configuration.
+/// Components are disjoint; [`RtmBreakdown::total`] is their sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtmBreakdown {
+    /// Live propagation state: wavefield time levels, model parameters, ψ
+    /// memory variables, image — everything resident regardless of how the
+    /// source field is recovered.
+    pub field_bytes: u64,
+    /// Stored forward wavefields (snapshots and/or checkpoint states).
+    /// Exactly 0 on the random-boundary path.
+    pub snapshot_bytes: u64,
+    /// Randomized-velocity halo arrays (the perturbed copies of the model
+    /// parameters over the boundary strip). Exactly 0 on snapshot paths.
+    pub boundary_bytes: u64,
+}
+
+impl RtmBreakdown {
+    /// Total peak bytes.
+    pub fn total(&self) -> u64 {
+        self.field_bytes + self.snapshot_bytes + self.boundary_bytes
+    }
+}
+
+/// Number of model-parameter arrays the random boundary perturbs (the
+/// randomized copies that must coexist with the originals): vp for the
+/// single-velocity formulations, λ and μ for elastic.
+fn perturbed_array_count(f: Formulation) -> usize {
+    match f {
+        Formulation::Isotropic | Formulation::Acoustic => 1,
+        Formulation::Elastic => 2,
+    }
+}
+
+/// Grid points inside the random-boundary strip of an interior grid `n`
+/// (nx, ny, nz with ny = 1 in 2D).
+fn boundary_strip_points(d: Dims, n: [usize; 3], width: usize) -> u64 {
+    let [nx, ny, nz] = n;
+    let inner = |len: usize| len.saturating_sub(2 * width) as u64;
+    let all = nx as u64 * ny as u64 * nz as u64;
+    let core = match d {
+        Dims::Two => inner(nx) * inner(nz),
+        Dims::Three => inner(nx) * inner(ny) * inner(nz),
+    };
+    all - core
+}
+
+/// Per-component peak device memory of one migration strategy over an
+/// interior grid `n` with `points` *allocated* grid points (halo included).
+///
+/// The snapshot component reproduces each driver's storage policy:
+///
+/// * `Dense` keeps `⌈steps/snap_period⌉` full wavefields,
+/// * `Checkpointed` keeps `slots` full propagation states (one wavefield
+///   set each) plus the replayed snapshots of the longest segment
+///   (`⌈⌈steps/slots⌉/snap_period⌉` wavefields) — the peak of
+///   `migrate_checkpointed`,
+/// * `RandomBoundary` stores **nothing**: the source state (a second
+///   propagation set) is co-resident instead, counted in `field_bytes`,
+///   and the perturbed parameter copies are charged per strip point to
+///   `boundary_bytes`.
+pub fn rtm_breakdown(
+    f: Formulation,
+    d: Dims,
+    n: [usize; 3],
+    points: usize,
+    strategy: MigrationStrategy,
+) -> RtmBreakdown {
+    let arr = points as u64 * 4;
+    let base = (modeling_array_count(f, d) + rtm_extra_array_count(f, d)) as u64 * arr;
+    match strategy {
+        MigrationStrategy::Dense { steps, snap_period } => RtmBreakdown {
+            field_bytes: base,
+            snapshot_bytes: steps.div_ceil(snap_period.max(1)) as u64 * arr,
+            boundary_bytes: 0,
+        },
+        MigrationStrategy::Checkpointed {
+            slots,
+            steps,
+            snap_period,
+        } => {
+            // One stored state = every wavefield time level of the
+            // formulation (model parameters are shared, ψ restart from 0
+            // only in the lossless interior — stored conservatively too, as
+            // migrate_checkpointed clones whole states).
+            let state_arrays = modeling_array_count(f, d) as u64;
+            let longest_segment = steps.div_ceil(slots.max(1));
+            let replayed = longest_segment.div_ceil(snap_period.max(1)) as u64;
+            RtmBreakdown {
+                field_bytes: base,
+                snapshot_bytes: (slots as u64 * state_arrays + replayed) * arr,
+                boundary_bytes: 0,
+            }
+        }
+        MigrationStrategy::RandomBoundary { width } => RtmBreakdown {
+            // The backward pass co-residents the receiver propagation set
+            // and the source propagation set (reconstructed, not loaded).
+            field_bytes: base + modeling_array_count(f, d) as u64 * arr,
+            snapshot_bytes: 0,
+            boundary_bytes: perturbed_array_count(f) as u64
+                * boundary_strip_points(d, n, width)
+                * 4,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +294,84 @@ mod tests {
         assert_eq!(Formulation::Elastic.label(), "ELASTIC");
         assert_eq!(Dims::Two.count(), 2);
         assert_eq!(Dims::Three.count(), 3);
+    }
+
+    /// The random-boundary path's defining property: zero snapshot bytes,
+    /// for every formulation and dimensionality.
+    #[test]
+    fn random_boundary_reports_zero_snapshot_bytes() {
+        for f in [
+            Formulation::Isotropic,
+            Formulation::Acoustic,
+            Formulation::Elastic,
+        ] {
+            for (d, n, pts) in [
+                (Dims::Two, [500, 1, 500], 510 * 508usize),
+                (Dims::Three, [100, 100, 100], 108 * 108 * 108),
+            ] {
+                let b = rtm_breakdown(
+                    f,
+                    d,
+                    n,
+                    pts,
+                    MigrationStrategy::RandomBoundary { width: 20 },
+                );
+                assert_eq!(b.snapshot_bytes, 0, "{f:?} {d:?}");
+                assert!(b.boundary_bytes > 0);
+                assert_eq!(b.total(), b.field_bytes + b.boundary_bytes);
+            }
+        }
+    }
+
+    /// Components must account against each other sensibly: dense snapshots
+    /// dominate checkpointing, and the random-boundary halo is far below
+    /// either for production-shaped runs.
+    #[test]
+    fn breakdown_orders_strategies_by_storage() {
+        let n = [400usize, 1, 400];
+        let pts = 408 * 408usize;
+        let dense = rtm_breakdown(
+            Formulation::Acoustic,
+            Dims::Two,
+            n,
+            pts,
+            MigrationStrategy::Dense {
+                steps: 4000,
+                snap_period: 10,
+            },
+        );
+        let ck = rtm_breakdown(
+            Formulation::Acoustic,
+            Dims::Two,
+            n,
+            pts,
+            MigrationStrategy::Checkpointed {
+                slots: 8,
+                steps: 4000,
+                snap_period: 10,
+            },
+        );
+        let rb = rtm_breakdown(
+            Formulation::Acoustic,
+            Dims::Two,
+            n,
+            pts,
+            MigrationStrategy::RandomBoundary { width: 20 },
+        );
+        assert!(ck.snapshot_bytes < dense.snapshot_bytes);
+        assert!(rb.boundary_bytes < ck.snapshot_bytes);
+        assert!(rb.total() < ck.total());
+        assert!(ck.total() < dense.total());
+        // The remodeling price is visible in the live-field component.
+        assert!(rb.field_bytes > ck.field_bytes);
+    }
+
+    #[test]
+    fn boundary_strip_never_exceeds_the_grid() {
+        // Degenerate: strip wider than half the grid swallows everything.
+        let all = boundary_strip_points(Dims::Two, [10, 1, 10], 6);
+        assert_eq!(all, 100);
+        let some = boundary_strip_points(Dims::Three, [10, 10, 10], 2);
+        assert_eq!(some, 1000 - 6 * 6 * 6);
     }
 }

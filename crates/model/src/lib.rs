@@ -23,6 +23,7 @@
 
 pub mod builder;
 pub mod footprint;
+pub mod random_boundary;
 
 use seismic_grid::{Extent2, Extent3, Field2, Field3};
 use serde::{Deserialize, Serialize};

@@ -51,6 +51,23 @@ impl DampProfile {
         Self { sigma, width, halo }
     }
 
+    /// A profile that damps nothing: σ ≡ 0 over the whole allocated axis
+    /// and `in_layer` is false everywhere. Used by the random-boundary
+    /// migration path, which replaces dissipation with a randomized
+    /// velocity halo — the medium must stay time-reversible, and with σ = 0
+    /// the isotropic update's `(1 ∓ σdt)` factors are exactly 1.0, so the
+    /// backward sweep reconstructs the forward states bit-for-bit in exact
+    /// arithmetic.
+    pub fn transparent(n_interior: usize, halo: usize) -> Self {
+        Self {
+            sigma: vec![0.0; n_interior + 2 * halo],
+            // width 0 → in_layer falls back to the σ≠0 test, which is
+            // false everywhere: kernels take the undamped interior branch.
+            width: 0,
+            halo,
+        }
+    }
+
     /// Rank-local window of a global profile for slab decomposition: the
     /// returned profile's interior `[0, nz_local)` maps to global interior
     /// rows `[z0, z0 + nz_local)`, with the halo taken from the global
@@ -168,6 +185,18 @@ mod tests {
     #[test]
     fn width_accessor() {
         assert_eq!(profile().width(), 10);
+    }
+
+    #[test]
+    fn transparent_profile_damps_nothing_anywhere() {
+        let p = DampProfile::transparent(100, 4);
+        assert_eq!(p.as_slice().len(), 108);
+        for raw in 0..108 {
+            assert_eq!(p.sigma_raw(raw), 0.0);
+        }
+        for i in 0..100 {
+            assert!(!p.in_layer(i));
+        }
     }
 
     /// A windowed profile must agree with the global one at every local

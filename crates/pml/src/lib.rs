@@ -15,7 +15,12 @@
 //!   per-field memory variables ψ updated as `ψ ← b·ψ + a·∂u`, with the
 //!   effective derivative `∂u/κ + ψ` — exactly the "four different
 //!   one-dimensional arrays with the cpml-coefficients for each dimension"
-//!   of the paper.
+//!   of the paper,
+//! * **random boundaries** ([`RandomBoundarySpec`]) for the checkpoint-free
+//!   migration path: instead of absorbing outgoing energy, a seeded random
+//!   velocity halo scatters it incoherently while the medium stays lossless
+//!   and therefore time-reversible (paired with [`DampProfile::transparent`]
+//!   / [`CpmlAxis::transparent`] so nothing dissipates).
 //!
 //! The isotropic kernel's PML is also where the paper's Figure 6/7
 //! restructuring experiments live: the boundary-only `if`-statements hurt
@@ -26,9 +31,11 @@
 
 pub mod cpml;
 pub mod damp;
+pub mod random;
 
 pub use cpml::CpmlAxis;
 pub use damp::DampProfile;
+pub use random::{PerturbationLaw, RandomBoundarySpec};
 
 /// Default absorbing-layer thickness in grid points.
 pub const DEFAULT_PML_WIDTH: usize = 20;

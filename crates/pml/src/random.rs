@@ -1,0 +1,210 @@
+//! Seeded random-boundary construction (Barbosa & Coutinho).
+//!
+//! Random-boundary RTM replaces the absorbing layer with a **randomized
+//! velocity halo**: outgoing energy entering the strip scatters into
+//! incoherent noise instead of being damped, so the medium stays lossless and
+//! the source propagation can be run backward from its final state — no
+//! wavefield snapshots, no checkpoint traffic. The noise that re-enters the
+//! interior during reconstruction is uncorrelated with the receiver field and
+//! stacks out of the image.
+//!
+//! This module owns the *law* of the perturbation; applying it to concrete
+//! earth models lives in `seismic-model::random_boundary`, and the migration
+//! driver that exploits reversibility lives in `rtm-core::rand_boundary`.
+//!
+//! Design constraints the law satisfies:
+//!
+//! * **Deterministic & order-free** — the factor at a cell is a pure function
+//!   of `(seed, coordinates)` via [`seismic_grid::rng::hash2`]/[`hash3`], so
+//!   gang counts, slab decompositions, and restarts cannot change it.
+//! * **Velocity never increases** — factors lie in `[1 − amp, 1]`, so the CFL
+//!   bound of the unperturbed model still holds and `dt` is unchanged.
+//! * **No impedance wall** — the [`PerturbationLaw::Ramp`] law grows the
+//!   perturbation amplitude linearly from 0 at the interior edge of the strip
+//!   to `amp` at the outer edge, avoiding a coherent reflection off the
+//!   strip's inner face.
+
+use seismic_grid::rng::{hash2, hash3, unit_f32};
+use serde::{Deserialize, Serialize};
+
+/// How the perturbation amplitude varies across the strip depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerturbationLaw {
+    /// Full amplitude everywhere in the strip. Strongest scattering, but the
+    /// abrupt impedance contrast at the strip's inner face reflects
+    /// coherently back into the interior.
+    Uniform,
+    /// Amplitude ramps linearly from 0 at the inner face to `amp` at the
+    /// outer edge — the law used by the random-boundary literature to keep
+    /// the inner face acoustically invisible.
+    Ramp,
+}
+
+/// A seeded random-boundary region: strip width, perturbation amplitude,
+/// law, and seed. Two specs with the same fields build bitwise-identical
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomBoundarySpec {
+    /// Strip depth in grid points at every interior face.
+    pub width: usize,
+    /// Maximum relative velocity perturbation, in `(0, 1)`: a cell's
+    /// velocity is scaled by `1 − a·u` with `a ≤ amp` and `u ~ U[0,1)`.
+    pub amp: f32,
+    /// Amplitude profile across the strip.
+    pub law: PerturbationLaw,
+    /// RNG seed; the whole boundary is a pure function of it.
+    pub seed: u64,
+}
+
+impl RandomBoundarySpec {
+    /// Spec with the given width and seed and the literature-standard
+    /// ramped law at 35% maximum perturbation.
+    pub fn new(width: usize, seed: u64) -> Self {
+        assert!(width > 0, "random boundary width must be positive");
+        Self {
+            width,
+            amp: 0.35,
+            law: PerturbationLaw::Ramp,
+            seed,
+        }
+    }
+
+    /// Same spec with a different perturbation amplitude.
+    pub fn with_amp(mut self, amp: f32) -> Self {
+        assert!(amp > 0.0 && amp < 1.0, "amp must lie in (0, 1): {amp}");
+        self.amp = amp;
+        self
+    }
+
+    /// Same spec with a different law.
+    pub fn with_law(mut self, law: PerturbationLaw) -> Self {
+        self.law = law;
+        self
+    }
+
+    /// Depth into the strip (`0` = outside, `width` = at the domain edge)
+    /// for a point at `edge_dist` points from the nearest interior face.
+    fn strip_depth(&self, edge_dist: usize) -> usize {
+        self.width.saturating_sub(edge_dist)
+    }
+
+    /// Perturbation factor given the strip depth and the cell's hash.
+    fn factor_at_depth(&self, depth: usize, h: u64) -> f32 {
+        if depth == 0 {
+            return 1.0;
+        }
+        let local_amp = match self.law {
+            PerturbationLaw::Uniform => self.amp,
+            PerturbationLaw::Ramp => self.amp * depth as f32 / self.width as f32,
+        };
+        1.0 - local_amp * unit_f32(h)
+    }
+
+    /// Velocity factor for interior cell `(ix, iz)` of an `nx × nz` 2-D
+    /// grid. Exactly `1.0` outside the strip.
+    #[inline]
+    pub fn factor2(&self, nx: usize, nz: usize, ix: usize, iz: usize) -> f32 {
+        let edge = ix.min(nx - 1 - ix).min(iz).min(nz - 1 - iz);
+        let depth = self.strip_depth(edge);
+        if depth == 0 {
+            return 1.0;
+        }
+        self.factor_at_depth(depth, hash2(self.seed, ix, iz))
+    }
+
+    /// Velocity factor for interior cell `(ix, iy, iz)` of an
+    /// `nx × ny × nz` 3-D grid. Exactly `1.0` outside the strip.
+    #[inline]
+    pub fn factor3(&self, n: [usize; 3], ix: usize, iy: usize, iz: usize) -> f32 {
+        let [nx, ny, nz] = n;
+        let edge = ix
+            .min(nx - 1 - ix)
+            .min(iy.min(ny - 1 - iy))
+            .min(iz.min(nz - 1 - iz));
+        let depth = self.strip_depth(edge);
+        if depth == 0 {
+            return 1.0;
+        }
+        self.factor_at_depth(depth, hash3(self.seed, ix, iy, iz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_is_untouched() {
+        let s = RandomBoundarySpec::new(8, 42);
+        for ix in 8..56 {
+            for iz in 8..56 {
+                assert_eq!(s.factor2(64, 64, ix, iz), 1.0);
+            }
+        }
+        assert_eq!(s.factor3([32, 32, 32], 16, 16, 16), 1.0);
+    }
+
+    #[test]
+    fn strip_factors_stay_in_band_and_only_slow_down() {
+        let s = RandomBoundarySpec::new(8, 42).with_amp(0.3);
+        for ix in 0..64 {
+            for iz in 0..64 {
+                let f = s.factor2(64, 64, ix, iz);
+                assert!((0.7..=1.0).contains(&f), "factor {f} at ({ix},{iz})");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_same_different_seed_is_not() {
+        let a = RandomBoundarySpec::new(8, 7);
+        let b = RandomBoundarySpec::new(8, 7);
+        let c = RandomBoundarySpec::new(8, 8);
+        let mut differs = false;
+        for ix in 0..64 {
+            for iz in 0..64 {
+                let fa = a.factor2(64, 64, ix, iz);
+                assert_eq!(fa.to_bits(), b.factor2(64, 64, ix, iz).to_bits());
+                differs |= fa != c.factor2(64, 64, ix, iz);
+            }
+        }
+        assert!(differs, "different seeds must build different boundaries");
+    }
+
+    #[test]
+    fn ramp_law_vanishes_at_the_inner_face() {
+        let s = RandomBoundarySpec::new(8, 42);
+        // One point inside the strip (edge_dist = width-1, depth = 1): the
+        // ramp allows at most amp/width perturbation.
+        let f = s.factor2(64, 64, 7, 32);
+        assert!(f >= 1.0 - s.amp / s.width as f32 - 1e-7, "inner face {f}");
+        // Uniform law at the same point can use the full amplitude band.
+        let u = s.with_law(PerturbationLaw::Uniform);
+        assert!(u.factor2(64, 64, 7, 32) >= 1.0 - u.amp);
+    }
+
+    #[test]
+    fn deepest_cells_carry_the_full_amplitude_band() {
+        let s = RandomBoundarySpec::new(8, 3).with_amp(0.4);
+        // Corner cell: depth = width under every law; with many cells some
+        // hash must land near the bottom of the band.
+        let mut min = 1.0f32;
+        for ix in 0..64 {
+            let f = s.factor2(64, 64, ix, 0);
+            min = min.min(f);
+        }
+        assert!(min < 1.0 - 0.3 * s.amp, "edge row never perturbed? {min}");
+    }
+
+    #[test]
+    fn factor3_matches_law_on_faces() {
+        let s = RandomBoundarySpec::new(4, 9);
+        for iy in 0..16 {
+            let f = s.factor3([16, 16, 16], 8, iy, 8);
+            assert!((1.0 - s.amp..=1.0).contains(&f));
+            if (4..12).contains(&iy) {
+                assert_eq!(f, 1.0);
+            }
+        }
+    }
+}

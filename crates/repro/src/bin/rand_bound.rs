@@ -1,0 +1,80 @@
+//! `rand_bound` — random-boundary vs Young-interval checkpointing CLI.
+//!
+//! Prints the memory/time comparison table and writes the rows as a JSON
+//! artifact. The exit code is the CI gate: nonzero when any row stores
+//! snapshot bytes on the random-boundary path or fails to undercut the
+//! checkpointing footprint.
+//!
+//! ```text
+//! rand_bound [--smoke] [--out DIR]
+//! ```
+//!
+//! * `--smoke`: only the two representative CI rows (isotropic 2D on the
+//!   CRAY, acoustic 3D on the IBM) instead of all twelve,
+//! * `--out DIR`: artifact directory (default `rand-bound-out`).
+
+use repro::rand_bound::{
+    rand_bound_rows, rand_bound_rows_json, rand_bound_smoke_rows, rand_bound_violations,
+    render_rand_bound_table,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rand_bound [--smoke] [--out DIR]";
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = PathBuf::from("rand-bound-out");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rows = if smoke {
+        rand_bound_smoke_rows()
+    } else {
+        rand_bound_rows()
+    };
+    print!("{}", render_rand_bound_table(&rows));
+
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("rand_bound: cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out.join("rand_bound.json");
+    let doc = serde_json::to_string(&rand_bound_rows_json(&rows));
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("rand_bound: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", path.display());
+
+    let violations = rand_bound_violations(&rows);
+    if !violations.is_empty() {
+        eprintln!("\nGATE FAILED:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("gate passed: zero snapshot bytes, footprint below checkpointing in every row");
+    ExitCode::SUCCESS
+}

@@ -22,6 +22,9 @@
 //! * [`serve`] — service-level study of `acc-serve`: offered load swept
 //!   past fleet capacity (goodput, tail latency, shed rate, breaker
 //!   activity) and the CI smoke scenario,
+//! * [`rand_bound`] — random-boundary remodeling vs Young-interval
+//!   checkpointing: per-case memory footprint and simulated time across
+//!   all twelve table cases (the `rand_bound` binary and CI gate),
 //!
 //! [`ablation`] adds studies of the design choices DESIGN.md calls out
 //! (working tile/cache clauses, pinned memory, partial transfers, C-PML
@@ -35,6 +38,7 @@ pub mod accprof;
 pub mod cases;
 pub mod figures;
 pub mod paper;
+pub mod rand_bound;
 pub mod render;
 pub mod resilience;
 pub mod serve;
