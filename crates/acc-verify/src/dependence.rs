@@ -21,7 +21,7 @@ use crate::program::Launch;
 use openacc_sim::access::AffineAccess;
 
 /// A concrete cross-iteration conflict found statically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Witness {
     /// Iteration performing the write.
     pub i: u64,
@@ -31,6 +31,28 @@ pub struct Witness {
     pub elem: i64,
     /// True when the second access is also a write.
     pub write_write: bool,
+    /// The writing reference.
+    pub write: AffineAccess,
+    /// The other reference touching the same element.
+    pub other: AffineAccess,
+}
+
+/// Render an affine reference as the array subscript it resolves to, e.g.
+/// `u[100 + 2·i]`, `u[i]`, `u[i − 4]`, `u[7]` — so diagnostics are
+/// actionable without reading the plan source.
+pub fn subscript(a: &AffineAccess) -> String {
+    let idx = match (a.offset, a.stride) {
+        (0, 0) => "0".to_string(),
+        (o, 0) => format!("{o}"),
+        (0, 1) => "i".to_string(),
+        (0, -1) => "−i".to_string(),
+        (0, s) => format!("{s}·i"),
+        (o, 1) if o < 0 => format!("i − {}", -o),
+        (o, 1) => format!("i + {o}"),
+        (o, s) if o < 0 => format!("{s}·i − {}", -o),
+        (o, s) => format!("{s}·i + {o}"),
+    };
+    format!("{}[{}]", a.array, idx)
 }
 
 fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
@@ -154,6 +176,152 @@ pub fn affine_conflict(w: &AffineAccess, a: &AffineAccess, trip: u64) -> Option<
     None
 }
 
+/// The *minimal* cross-iteration conflict distance between a write and
+/// another access: the smallest `|i − j| > 0` with `w.at(i) == a.at(j)`,
+/// `0 ≤ i, j < trip`, together with a witness pair realizing it. `None`
+/// when the pair carries no dependence at all.
+///
+/// This is the quantity SIMD legality keys off: a loop chunked into
+/// `N`-wide in-order vector instructions is safe iff no conflict has
+/// distance < `N` (two iterations closer than `N` can share a chunk).
+pub fn carried_distance(w: &AffineAccess, a: &AffineAccess, trip: u64) -> Option<(u64, u64, u64)> {
+    if w.array != a.array || trip < 2 {
+        return None;
+    }
+    let n = trip as i128;
+    let s1 = w.stride as i128;
+    let s2 = a.stride as i128;
+    let c = (a.offset - w.offset) as i128;
+
+    if s1 == 0 && s2 == 0 {
+        // Adjacent iterations already collide on the shared fixed element.
+        return (c == 0).then_some((1, 0, 1));
+    }
+    if s2 == 0 {
+        // w hits a's fixed element at exactly one i; every other j
+        // collides with it, so the neighbor realizes distance 1.
+        if c % s1 != 0 {
+            return None;
+        }
+        let i = c / s1;
+        if !(0..n).contains(&i) {
+            return None;
+        }
+        let j = if i + 1 < n { i + 1 } else { i - 1 };
+        return Some((1, i as u64, j as u64));
+    }
+    if s1 == 0 {
+        if (-c) % s2 != 0 {
+            return None;
+        }
+        let j = -c / s2;
+        if !(0..n).contains(&j) {
+            return None;
+        }
+        let i = if j + 1 < n { j + 1 } else { j - 1 };
+        return Some((1, i as u64, j as u64));
+    }
+
+    // General case, same parametrization as [`affine_conflict`]:
+    // i = i0 + k·di, j = j0 + k·dj over the Banerjee-bounded k-interval.
+    let (mut g, mut u, mut v) = egcd(s1, -s2);
+    if g < 0 {
+        g = -g;
+        u = -u;
+        v = -v;
+    }
+    if c % g != 0 {
+        return None;
+    }
+    let scale = c / g;
+    let i0 = u * scale;
+    let j0 = v * scale;
+    let di = s2 / g;
+    let dj = s1 / g;
+    let ri = param_range(i0, di, n)?;
+    let rj = param_range(j0, dj, n)?;
+    let (klo, khi) = (ri.0.max(rj.0), ri.1.min(rj.1));
+    if klo > khi {
+        return None;
+    }
+    // Distance as a function of k is |Δ + k·s| — V-shaped, so the nonzero
+    // minimum over [klo, khi] is realized at an interval endpoint or at an
+    // integer neighboring the vertex −Δ/s (stepping one further when the
+    // vertex itself is the excluded i == j diagonal).
+    let delta = i0 - j0;
+    let slope = di - dj;
+    if slope == 0 {
+        if delta == 0 {
+            return None; // every solution is on the diagonal
+        }
+        let (i, j) = ((i0 + klo * di), (j0 + klo * dj));
+        return Some((delta.unsigned_abs() as u64, i as u64, j as u64));
+    }
+    let vertex = div_floor(-delta, slope.abs()) * slope.signum();
+    let mut best: Option<(u64, i128)> = None;
+    for cand in [
+        klo,
+        khi,
+        vertex - 1,
+        vertex,
+        vertex + 1,
+        vertex + slope.signum(),
+        vertex - slope.signum(),
+        vertex + 2 * slope.signum(),
+    ] {
+        if !(klo..=khi).contains(&cand) {
+            continue;
+        }
+        let d = (delta + cand * slope).unsigned_abs() as u64;
+        if d == 0 {
+            continue; // the i == j diagonal
+        }
+        if best.is_none_or(|(bd, bk)| d < bd || (d == bd && cand < bk)) {
+            best = Some((d, cand));
+        }
+    }
+    let (dist, k) = best?;
+    Some((dist, (i0 + k * di) as u64, (j0 + k * dj) as u64))
+}
+
+/// The minimal carried dependence distance over *all* write × access pairs
+/// of a declared access set, with the realizing witness. `None` means the
+/// loop carries no dependence — legal at any vector width. Declared
+/// reduction cells are exempt: they replay lane-private.
+pub fn min_carried_distance(access: &openacc_sim::access::AccessSet) -> Option<Witness> {
+    let mut best: Option<(u64, Witness)> = None;
+    for w in &access.writes {
+        for (other, is_write) in access
+            .writes
+            .iter()
+            .map(|a| (a, true))
+            .chain(access.reads.iter().map(|a| (a, false)))
+        {
+            if let Some((dist, i, j)) = carried_distance(w, other, access.trip) {
+                if best.as_ref().is_none_or(|(bd, _)| dist < *bd) {
+                    best = Some((
+                        dist,
+                        Witness {
+                            i,
+                            j,
+                            elem: w.at(i),
+                            write_write: is_write,
+                            write: w.clone(),
+                            other: other.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    best.map(|(_, wit)| wit)
+}
+
+/// The distance a [`Witness`] realizes.
+pub fn witness_distance(w: &Witness) -> u64 {
+    w.i.abs_diff(w.j)
+}
+
 /// Run the dependence test over one launch's declared accesses. Returns a
 /// witness for the first conflicting pair, if any.
 pub fn find_race(l: &Launch) -> Option<Witness> {
@@ -172,6 +340,8 @@ pub fn find_race(l: &Launch) -> Option<Witness> {
                     j,
                     elem: w.at(i),
                     write_write: is_write,
+                    write: w.clone(),
+                    other: other.clone(),
                 });
             }
         }
@@ -205,10 +375,16 @@ pub fn check_launch(op: usize, l: &Launch) -> Vec<Diagnostic> {
     vec![Diagnostic::new(
         Severity::Error,
         Rule::IndependentRace,
-        Span::at(op).kernel(l.name.clone()),
+        Span::at(op)
+            .kernel(l.name.clone())
+            .array(wit.write.array.clone()),
         format!(
-            "{claim}: iterations {} and {} both touch element {} ({kind} conflict)",
-            wit.i, wit.j, wit.elem
+            "{claim}: {} at i={} and {} at i={} both resolve to element {} ({kind} conflict)",
+            subscript(&wit.write),
+            wit.i,
+            subscript(&wit.other),
+            wit.j,
+            wit.elem
         ),
     )]
 }
@@ -336,6 +512,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Brute-force minimal conflict distance, for validating the solver.
+    fn brute_distance(w: &AffineAccess, a: &AffineAccess, trip: u64) -> Option<u64> {
+        let mut best = None;
+        for i in 0..trip {
+            for j in 0..trip {
+                if i != j && w.at(i) == a.at(j) {
+                    let d = i.abs_diff(j);
+                    if best.is_none_or(|b| d < b) {
+                        best = Some(d);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn carried_distance_matches_brute_force() {
+        let params: Vec<i64> = vec![-7, -3, -2, -1, 0, 1, 2, 3, 5, 8];
+        for &s1 in &params {
+            for &s2 in &params {
+                for &off in &[-9i64, -4, -1, 0, 1, 3, 10] {
+                    for trip in [2u64, 3, 7, 16, 33] {
+                        let w = acc("u", 0, s1);
+                        let a = acc("u", off, s2);
+                        let expect = brute_distance(&w, &a, trip);
+                        let got = carried_distance(&w, &a, trip);
+                        assert_eq!(
+                            got.map(|(d, _, _)| d),
+                            expect,
+                            "s1={s1} s2={s2} off={off} trip={trip} got={got:?}"
+                        );
+                        if let Some((d, i, j)) = got {
+                            assert!(i < trip && j < trip && i != j);
+                            assert_eq!(w.at(i), a.at(j), "witness must resolve");
+                            assert_eq!(i.abs_diff(j), d, "witness must realize the distance");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_one_recurrence_and_halo_distances() {
+        // w[i] vs r[i−1]: the classic running recurrence, distance 1.
+        let (d, i, j) = carried_distance(&acc("u", 0, 1), &acc("u", -1, 1), 64).unwrap();
+        assert_eq!(d, 1);
+        assert_eq!(i.abs_diff(j), 1);
+        // w[i] vs r[i−4]: a halo-4 in-place stencil tap, distance 4 —
+        // legal at width ≤ 4, illegal at 8.
+        let (d, _, _) = carried_distance(&acc("u", 0, 1), &acc("u", -4, 1), 64).unwrap();
+        assert_eq!(d, 4);
+        // Out-of-place: no dependence at all.
+        assert_eq!(
+            carried_distance(&acc("u", 0, 1), &acc("u", 10_000, 1), 64),
+            None
+        );
+    }
+
+    #[test]
+    fn min_carried_distance_scans_all_pairs() {
+        let s = AccessSet::new(64)
+            .write("u", 0, 1)
+            .read("u", -8, 1)
+            .read("u", -2, 1);
+        let wit = min_carried_distance(&s).unwrap();
+        assert_eq!(witness_distance(&wit), 2);
+        assert_eq!(wit.other.offset, -2);
+        // Reduction cells are exempt: not part of reads/writes.
+        let r = AccessSet::new(64)
+            .read("u", 0, 1)
+            .reduce("qc", 0, openacc_sim::ReduceOp::Sum);
+        assert!(min_carried_distance(&r).is_none());
+    }
+
+    #[test]
+    fn subscripts_render_readably() {
+        assert_eq!(subscript(&acc("u", 0, 1)), "u[i]");
+        assert_eq!(subscript(&acc("u", -4, 1)), "u[i − 4]");
+        assert_eq!(subscript(&acc("u", 3, 2)), "u[2·i + 3]");
+        assert_eq!(subscript(&acc("u", 7, 0)), "u[7]");
+        assert_eq!(subscript(&acc("u", 0, -1)), "u[−i]");
+    }
+
+    #[test]
+    fn race_diag_carries_resolved_subscripts() {
+        let l = launch(
+            AccessSet::new(64).write("u", 0, 1).read("u", -1, 1),
+            vec![Clause::Independent],
+            false,
+        );
+        let ds = check_launch(2, &l);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("u[i]"), "{}", ds[0].message);
+        assert!(ds[0].message.contains("u[i − 1]"), "{}", ds[0].message);
+        assert!(
+            ds[0].message.contains("resolve to element"),
+            "{}",
+            ds[0].message
+        );
+        assert_eq!(ds[0].span.array.as_deref(), Some("u"));
     }
 
     fn launch(access: AccessSet, clauses: Vec<Clause>, dependence: bool) -> Launch {

@@ -62,6 +62,19 @@ pub enum Rule {
     /// Register demand exceeds the cap: spills to local memory
     /// (Figures 10/12), or occupancy starves the memory pipeline.
     RegisterPressure,
+    /// A `vector(N)` mapping with a carried dependence of distance < N:
+    /// two iterations of the same SIMD chunk touch one element.
+    VectorLaneDependence,
+    /// Vectorizing a declared FP reduction reassociates the combine tree;
+    /// results differ from the scalar chain within a documented ULP bound.
+    VectorReassociation,
+    /// A vector loop's store stream starts at a base whose alignment
+    /// residue is nonzero: every vector store straddles an alignment
+    /// boundary (unaligned-access penalty, or a scalar prologue).
+    VectorMisalignment,
+    /// A loop declared dependent (hence sequential) whose affine accesses
+    /// the solver proves independent: vectorization legal but unused.
+    VectorizableSequential,
 }
 
 impl Rule {
@@ -81,11 +94,15 @@ impl Rule {
             Rule::UncoalescedAccess => "uncoalesced-access",
             Rule::CollapseOpportunity => "collapse-opportunity",
             Rule::RegisterPressure => "register-pressure",
+            Rule::VectorLaneDependence => "vector-lane-dependence",
+            Rule::VectorReassociation => "vector-reassociation",
+            Rule::VectorMisalignment => "vector-misalignment",
+            Rule::VectorizableSequential => "vectorizable-sequential",
         }
     }
 
-    /// The four acceptance rule classes: dependence/race, data
-    /// environment, async hazard, coalescing/perf lint.
+    /// The five acceptance rule classes: dependence/race, data
+    /// environment, async hazard, coalescing/perf lint, vectorization.
     pub fn class(&self) -> &'static str {
         match self {
             Rule::IndependentRace => "dependence",
@@ -100,6 +117,10 @@ impl Rule {
             Rule::UncoalescedAccess | Rule::CollapseOpportunity | Rule::RegisterPressure => {
                 "performance-lint"
             }
+            Rule::VectorLaneDependence
+            | Rule::VectorReassociation
+            | Rule::VectorMisalignment
+            | Rule::VectorizableSequential => "vectorization",
         }
     }
 }
@@ -278,15 +299,19 @@ mod tests {
             Rule::UncoalescedAccess,
             Rule::CollapseOpportunity,
             Rule::RegisterPressure,
+            Rule::VectorLaneDependence,
+            Rule::VectorReassociation,
+            Rule::VectorMisalignment,
+            Rule::VectorizableSequential,
         ];
         let ids: std::collections::HashSet<_> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len());
         assert!(ids
             .iter()
             .all(|i| i.chars().all(|c| c.is_ascii_lowercase() || c == '-')));
-        // All four acceptance classes are populated.
+        // All five acceptance classes are populated.
         let classes: std::collections::HashSet<_> = all.iter().map(|r| r.class()).collect();
-        assert_eq!(classes.len(), 4);
+        assert_eq!(classes.len(), 5);
     }
 
     #[test]

@@ -9,15 +9,18 @@
 //! [`openacc_sim::access`]:
 //!
 //! * **Tier 1 — static** ([`verify_program`]): walks a [`Program`] once and
-//!   runs four checker families — Banerjee/GCD dependence testing on
+//!   runs five checker families — Banerjee/GCD dependence testing on
 //!   `independent` claims ([`dependence`]), data-environment abstract
 //!   interpretation ([`dataenv`]), async-queue hazard detection
-//!   ([`hazard`]), and the paper's performance lessons as lints
-//!   ([`lints`]).
-//! * **Tier 2 — dynamic** ([`sanitize`]): replays declared access patterns
-//!   through the shadow-memory tracker in `openacc_sim::exec` on small
-//!   grids, confirming or refuting the static race verdicts with real
-//!   threaded execution.
+//!   ([`hazard`]), the paper's performance lessons as lints ([`lints`]),
+//!   and SIMD-lane legality certification ([`vectorize`]: carried
+//!   dependence distance vs lane width, stride/alignment lattice, FP
+//!   reduction reassociation with documented ULP bounds).
+//! * **Tier 2 — dynamic** ([`sanitize`], [`vectorize::lane_crosscheck`]):
+//!   replays declared access patterns through the shadow-memory and
+//!   lane-granularity trackers in `openacc_sim::exec` on small grids,
+//!   confirming or refuting the static race and lane-legality verdicts
+//!   with real execution.
 //!
 //! Diagnostics are structured ([`Diagnostic`]) with stable rule ids and a
 //! hand-rolled JSON report for CI ([`diag::report_json`]).
@@ -31,11 +34,13 @@ pub mod hazard;
 pub mod lints;
 pub mod program;
 pub mod sanitize;
+pub mod vectorize;
 
 pub use diag::{Diagnostic, Rule, Severity, Span};
 pub use lints::LintContext;
 pub use program::{Launch, Op, Program};
 pub use sanitize::{CrossCheck, DynamicVerdict};
+pub use vectorize::{LaneCrossCheck, StrideClass, VectorCertificate, VectorLegality, PROBE_WIDTHS};
 
 /// Everything the static tier needs besides the program itself.
 pub type VerifyContext = LintContext;
@@ -50,6 +55,7 @@ pub fn verify_program(p: &Program, ctx: &VerifyContext) -> Vec<Diagnostic> {
     diags.extend(dataenv::check(p));
     diags.extend(hazard::check(p));
     diags.extend(lints::check(p, ctx));
+    diags.extend(vectorize::check(p, ctx));
     diags.sort_by(|a, b| {
         a.span
             .op

@@ -49,6 +49,7 @@ pub fn scaled(access: &AccessSet, max_trip: u64) -> AccessSet {
         trip: access.trip.min(max_trip),
         reads: access.reads.clone(),
         writes: access.writes.clone(),
+        reductions: access.reductions.clone(),
     }
 }
 

@@ -1,0 +1,617 @@
+//! Vectorization-legality certification: prove `vector(N)` maps to lanes.
+//!
+//! ROADMAP item 1 wants the simulated `vector` clause mapped to real SIMD
+//! lanes. Before any kernel is hand-vectorized, this tier proves which
+//! inner loops may legally become `N`-wide vector instructions:
+//!
+//! * **Dependence distance** — a loop chunked into in-order `N`-wide
+//!   vector instructions is safe iff no carried dependence has distance
+//!   `< N`: any shorter dependence puts both iterations into one chunk,
+//!   where they execute simultaneously. The minimal distance comes from
+//!   the same Banerjee/GCD machinery as the race tier
+//!   ([`dependence::carried_distance`]), with a concrete witness pair.
+//! * **Stride/alignment lattice** — each loop is classified `Unit` (every
+//!   stream advances ≤ 1 element per lane — contiguous vector loads),
+//!   `Strided` (constant stride > 1 — hardware gathers or shuffles), or
+//!   `Gather` (the innermost sweep is not contiguous at all). The store
+//!   stream's base residue modulo the widest probed width decides whether
+//!   vector stores are aligned.
+//! * **Reassociation** — a declared FP `reduction(+:x)` is not a race
+//!   (lanes own private partials) but vectorizing it reassociates the
+//!   combine order: an `N`-lane tree sum rounds differently from the
+//!   scalar chain. The verdict is `LegalWithUlp` with the documented
+//!   bound `ulp_bound = ceil(log2 N)` (the tree's rounding depth);
+//!   `min`/`max` reductions stay exactly `Legal`.
+//!
+//! Every verdict is double-checked dynamically: the declared access set
+//! replays through the lane-granularity tracker in `openacc_sim::exec`
+//! ([`openacc_sim::exec::replay_lanes`]) at each probe width, and the
+//! static legality must agree with the observed intra-chunk conflicts —
+//! the same confirm/refute design as the [`crate::sanitize`] tier.
+
+use crate::dependence::{self, subscript, witness_distance, Witness};
+use crate::diag::{Diagnostic, Rule, Severity, Span};
+use crate::lints::LintContext;
+use crate::program::{Launch, Program};
+use crate::sanitize;
+use openacc_sim::access::ReduceOp;
+use openacc_sim::exec::replay_lanes;
+
+/// Lane widths probed, widest first: f64x8 (AVX-512), f64x4 (AVX2/SVE),
+/// f64x2 (SSE2/NEON). A loop's certified width is the widest legal one.
+pub const PROBE_WIDTHS: [u32; 3] = [8, 4, 2];
+
+/// The widest probed width — store bases are judged aligned against it.
+pub const VECTOR_ALIGN: i64 = 8;
+
+/// Trip count dynamic lane replays clamp to (same reasoning as
+/// [`sanitize::SANITIZE_TRIP`]: covers every stencil tap, stays instant).
+pub const LANE_REPLAY_TRIP: u64 = 512;
+
+/// Where a loop's access streams sit on the stride lattice
+/// (`Unit < Strided < Gather` — later classes cost more per lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StrideClass {
+    /// Every stream advances ≤ 1 element per lane: contiguous vector
+    /// loads/stores (stride-0 streams broadcast — also free).
+    Unit,
+    /// Some stream has a constant |stride| > 1: lanes hit an arithmetic
+    /// but non-contiguous progression (strided load / scatter).
+    Strided,
+    /// The innermost sweep itself is not contiguous: lane addresses are
+    /// not an arithmetic progression — a true gather.
+    Gather,
+}
+
+impl StrideClass {
+    /// Lower-case label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrideClass::Unit => "unit",
+            StrideClass::Strided => "strided",
+            StrideClass::Gather => "gather",
+        }
+    }
+}
+
+/// The legality verdict of one loop at its certified width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorLegality {
+    /// Lanes are independent and the combine order is untouched:
+    /// vectorized execution is bitwise-identical to scalar.
+    Legal,
+    /// Lanes are independent but a reassociation-sensitive reduction is
+    /// combined as a tree: results match the scalar chain only within the
+    /// documented ULP bound.
+    LegalWithUlp {
+        /// The reduction operator that reassociates.
+        op: ReduceOp,
+        /// Rounding-depth bound: a `w`-lane tree sum differs from the
+        /// sequential chain by at most `ceil(log2 w)` extra rounding
+        /// steps per element.
+        ulp_bound: u32,
+    },
+    /// A carried dependence shorter than every probed width: the loop is
+    /// bitwise-correct only scalar.
+    Illegal {
+        /// The minimal carried dependence distance.
+        distance: u64,
+        /// Rendered witness pair (resolved subscripts + iterations).
+        witness: String,
+    },
+}
+
+impl VectorLegality {
+    /// True unless the verdict is [`VectorLegality::Illegal`].
+    pub fn is_legal(&self) -> bool {
+        !matches!(self, VectorLegality::Illegal { .. })
+    }
+
+    /// Stable lower-case label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VectorLegality::Legal => "legal",
+            VectorLegality::LegalWithUlp { .. } => "legal-with-ulp",
+            VectorLegality::Illegal { .. } => "illegal",
+        }
+    }
+
+    /// The ULP bound, 0 when bitwise.
+    pub fn ulp_bound(&self) -> u32 {
+        match self {
+            VectorLegality::LegalWithUlp { ulp_bound, .. } => *ulp_bound,
+            _ => 0,
+        }
+    }
+}
+
+/// The machine-checked vectorization certificate of one innermost loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorCertificate {
+    /// Kernel name.
+    pub kernel: String,
+    /// Op index of the launch in its program.
+    pub op: usize,
+    /// Widest legal lane width (1 = scalar only).
+    pub width: u32,
+    /// The verdict at [`VectorCertificate::width`].
+    pub legality: VectorLegality,
+    /// Stride-lattice class of the loop's access streams.
+    pub stride_class: StrideClass,
+    /// Store-stream base residue modulo [`VECTOR_ALIGN`] (worst stream;
+    /// 0 = every vector store is aligned, or the loop stores nothing).
+    pub align_residue: i64,
+    /// ULP bound of the certified mapping (0 = bitwise).
+    pub ulp_bound: u32,
+    /// Minimal carried dependence distance (`None` = independent at any
+    /// distance).
+    pub min_distance: Option<u64>,
+    /// Did the compiler mapping actually put the innermost loop on vector
+    /// lanes? A legal certificate on a sequential loop is headroom.
+    pub vectorized: bool,
+}
+
+impl VectorCertificate {
+    /// Certified and actually usable: legal at width ≥ 2.
+    pub fn certified_legal(&self) -> bool {
+        self.legality.is_legal() && self.width >= 2
+    }
+}
+
+/// The ULP bound of a `w`-lane tree combine versus the scalar chain: the
+/// tree has `ceil(log2 w)` rounding levels, so per-element error grows by
+/// at most that many extra roundings (each ≤ ½ ULP of the partial).
+pub fn tree_ulp_bound(width: u32) -> u32 {
+    if width <= 1 {
+        0
+    } else {
+        (width - 1).ilog2() + 1
+    }
+}
+
+/// The worst reassociation-sensitive reduction declared, if any.
+fn sensitive_reduction(l: &Launch) -> Option<ReduceOp> {
+    l.access
+        .reductions
+        .iter()
+        .map(|r| r.op)
+        .find(|op| op.reassociation_sensitive())
+}
+
+/// Classify the launch on the stride lattice.
+pub fn stride_class(l: &Launch) -> StrideClass {
+    if !l.nest.innermost_contiguous {
+        return StrideClass::Gather;
+    }
+    let strided = l
+        .access
+        .reads
+        .iter()
+        .chain(l.access.writes.iter())
+        .any(|a| a.stride.abs() > 1);
+    if strided {
+        StrideClass::Strided
+    } else {
+        StrideClass::Unit
+    }
+}
+
+/// Worst store-stream alignment residue modulo [`VECTOR_ALIGN`].
+pub fn align_residue(l: &Launch) -> i64 {
+    l.access
+        .writes
+        .iter()
+        .map(|w| w.offset.rem_euclid(VECTOR_ALIGN))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Certify one launch: compute the minimal carried distance, pick the
+/// widest probe width below it, and fold in the reduction verdict.
+pub fn certify_launch(op: usize, l: &Launch, ctx: &LintContext) -> VectorCertificate {
+    let wit = dependence::min_carried_distance(&l.access);
+    let min_distance = wit.as_ref().map(witness_distance);
+    let trip = l.access.trip;
+    let width = PROBE_WIDTHS
+        .iter()
+        .copied()
+        .find(|&w| min_distance.is_none_or(|d| d >= u64::from(w)) && u64::from(w) <= trip.max(1))
+        .unwrap_or(1);
+    let legality = if width >= 2 {
+        match sensitive_reduction(l) {
+            Some(rop) => VectorLegality::LegalWithUlp {
+                op: rop,
+                ulp_bound: tree_ulp_bound(width),
+            },
+            None => VectorLegality::Legal,
+        }
+    } else if let Some(w) = &wit {
+        VectorLegality::Illegal {
+            distance: min_distance.unwrap_or(0),
+            witness: render_witness(w),
+        }
+    } else {
+        // Trip too short to fill even two lanes: scalar, trivially legal.
+        VectorLegality::Legal
+    };
+    let ulp_bound = legality.ulp_bound();
+    let plan = ctx.compiler.map(&l.nest, l.kind, &l.clauses, false);
+    VectorCertificate {
+        kernel: l.name.clone(),
+        op,
+        width,
+        legality,
+        stride_class: stride_class(l),
+        align_residue: align_residue(l),
+        ulp_bound,
+        min_distance,
+        vectorized: plan.vectorized,
+    }
+}
+
+fn render_witness(w: &Witness) -> String {
+    format!(
+        "{} at i={} and {} at i={} share element {} (distance {})",
+        subscript(&w.write),
+        w.i,
+        subscript(&w.other),
+        w.j,
+        w.elem,
+        witness_distance(w)
+    )
+}
+
+/// Certify every launch of a program, in op order.
+pub fn certify_program(p: &Program, ctx: &LintContext) -> Vec<VectorCertificate> {
+    p.launches()
+        .map(|(op, l)| certify_launch(op, l, ctx))
+        .collect()
+}
+
+/// Derive diagnostics from the certificates — the vectorization checker
+/// family [`crate::verify_program`] runs.
+pub fn check(p: &Program, ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (op, l) in p.launches() {
+        let cert = certify_launch(op, l, ctx);
+        let span = || Span::at(op).kernel(l.name.clone());
+        match &cert.legality {
+            VectorLegality::Illegal { distance, witness } if cert.vectorized => {
+                out.push(Diagnostic::new(
+                    Severity::Error,
+                    Rule::VectorLaneDependence,
+                    span(),
+                    format!(
+                        "vector mapping is illegal at any probed width: carried dependence \
+                         of distance {distance} — {witness}"
+                    ),
+                ));
+            }
+            VectorLegality::LegalWithUlp { op: rop, ulp_bound } => {
+                out.push(Diagnostic::new(
+                    Severity::Info,
+                    Rule::VectorReassociation,
+                    span(),
+                    format!(
+                        "reduction({}:…) vectorized at width {} reassociates the combine \
+                         tree: results match the scalar chain within {ulp_bound} ULP",
+                        rop.symbol(),
+                        cert.width
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        if cert.certified_legal() && cert.align_residue != 0 {
+            out.push(Diagnostic::new(
+                Severity::Info,
+                Rule::VectorMisalignment,
+                span(),
+                format!(
+                    "store-stream base has alignment residue {} (mod {VECTOR_ALIGN}): \
+                     every width-{} vector store straddles an alignment boundary",
+                    cert.align_residue, cert.width
+                ),
+            ));
+        }
+        if !cert.vectorized && cert.min_distance.is_none() && l.access.trip >= 2 {
+            out.push(Diagnostic::new(
+                Severity::Info,
+                Rule::VectorizableSequential,
+                span(),
+                format!(
+                    "loop runs sequentially (declared dependence) but its affine accesses \
+                     are provably independent: vectorization at width {} would be legal",
+                    cert.width
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The two tiers' verdicts at one probe width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthCheck {
+    /// Probe width.
+    pub width: u32,
+    /// Static claim: no carried dependence of distance < width.
+    pub static_safe: bool,
+    /// Dynamic observation: the lane replay saw no intra-chunk conflict.
+    pub dynamic_safe: bool,
+}
+
+/// Static certificate replayed through the lane tracker: every probe
+/// width's legality verdict checked against the observed chunk conflicts,
+/// plus stride-class and alignment agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneCrossCheck {
+    /// Kernel name.
+    pub kernel: String,
+    /// Per-width verdict pairs, widest first.
+    pub per_width: Vec<WidthCheck>,
+    /// Static stride class matches the replayed lane deltas (only
+    /// decidable when the class is not [`StrideClass::Gather`], which is
+    /// a nest property the replay cannot observe).
+    pub stride_agrees: bool,
+    /// Static store-base residues match the replayed lane-0 addresses.
+    pub residue_agrees: bool,
+}
+
+impl LaneCrossCheck {
+    /// The tiers agree on every probed width and every measurement.
+    pub fn agree(&self) -> bool {
+        self.per_width
+            .iter()
+            .all(|w| w.static_safe == w.dynamic_safe)
+            && self.stride_agrees
+            && self.residue_agrees
+    }
+}
+
+/// Run both tiers over one launch at every probe width, on the same
+/// replay-clamped trip count so the verdicts are directly comparable.
+pub fn lane_crosscheck(l: &Launch) -> LaneCrossCheck {
+    let access = sanitize::scaled(&l.access, LANE_REPLAY_TRIP);
+    let min_distance = dependence::min_carried_distance(&access)
+        .as_ref()
+        .map(witness_distance);
+    let mut per_width = Vec::with_capacity(PROBE_WIDTHS.len());
+    let mut stride_agrees = true;
+    let mut residue_agrees = true;
+    let class = {
+        // Reuse the static classifier on a probe copy of the launch.
+        let mut probe = l.clone();
+        probe.access = access.clone();
+        stride_class(&probe)
+    };
+    for w in PROBE_WIDTHS {
+        let replay = replay_lanes(&access, w);
+        per_width.push(WidthCheck {
+            width: w,
+            static_safe: min_distance.is_none_or(|d| d >= u64::from(w)),
+            dynamic_safe: replay.lane_safe(),
+        });
+        // Stride: the statically claimed class must match the measured
+        // lane progression (skip gathers — a nest property — and
+        // single-iteration loops, where no adjacent lane pair exists to
+        // measure a delta from).
+        if class != StrideClass::Gather && replay.trip >= 2 {
+            let measured_unit = replay.unit_stride();
+            if (class == StrideClass::Unit) != measured_unit {
+                stride_agrees = false;
+            }
+        }
+        // Alignment: the declared store base must be the address lane 0
+        // actually touched, residue-for-residue.
+        for (stream, (_, dyn_residue)) in access.writes.iter().zip(replay.write_residues().iter()) {
+            if stream.offset.rem_euclid(i64::from(w)) != *dyn_residue {
+                residue_agrees = false;
+            }
+        }
+    }
+    LaneCrossCheck {
+        kernel: l.name.clone(),
+        per_width,
+        stride_agrees,
+        residue_agrees,
+    }
+}
+
+/// Cross-check every launch of a program.
+pub fn lane_crosscheck_program(p: &Program) -> Vec<LaneCrossCheck> {
+    p.launches().map(|(_, l)| lane_crosscheck(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openacc_sim::access::AccessSet;
+    use openacc_sim::{Clause, Compiler, ConstructKind, LoopNest, PgiVersion};
+
+    fn ctx() -> LintContext {
+        LintContext {
+            compiler: Compiler::Pgi(PgiVersion::V14_6),
+            device: accel_sim::DeviceSpec::k40(),
+        }
+    }
+
+    fn launch(access: AccessSet) -> Launch {
+        Launch {
+            name: "k".into(),
+            nest: LoopNest::new(&[access.trip.max(1)]),
+            kind: ConstructKind::Kernels,
+            clauses: vec![Clause::Independent],
+            access,
+            regs: 32,
+        }
+    }
+
+    #[test]
+    fn out_of_place_stencil_certifies_widest() {
+        let l = launch(AccessSet::stencil(4096, "fields", 100_000, 0, 4, 64));
+        let c = certify_launch(0, &l, &ctx());
+        assert_eq!(c.width, 8);
+        assert_eq!(c.legality, VectorLegality::Legal);
+        assert_eq!(c.stride_class, StrideClass::Unit);
+        assert_eq!(c.align_residue, 0);
+        assert_eq!(c.min_distance, None);
+        assert!(c.vectorized);
+        assert!(c.certified_legal());
+    }
+
+    #[test]
+    fn distance_limits_certified_width() {
+        // Distance-4 recurrence (write u[i], read u[i−4]): width 4, not 8.
+        let l = launch(AccessSet::new(4096).write("u", 0, 1).read("u", -4, 1));
+        let c = certify_launch(0, &l, &ctx());
+        assert_eq!(c.min_distance, Some(4));
+        assert_eq!(c.width, 4);
+        assert!(c.legality.is_legal());
+        // The full in-place stencil has ±1 taps: distance 1, scalar only.
+        let inplace = launch(AccessSet::stencil_inplace(4096, "u", 0, 4, 4096));
+        let c2 = certify_launch(0, &inplace, &ctx());
+        assert_eq!(c2.min_distance, Some(1));
+        assert_eq!(c2.width, 1);
+    }
+
+    #[test]
+    fn distance_one_recurrence_is_illegal_with_witness() {
+        let l = launch(AccessSet::new(4096).write("u", 0, 1).read("u", -1, 1));
+        let c = certify_launch(3, &l, &ctx());
+        assert_eq!(c.width, 1);
+        assert!(!c.certified_legal());
+        let VectorLegality::Illegal { distance, witness } = &c.legality else {
+            panic!("expected illegal: {c:?}");
+        };
+        assert_eq!(*distance, 1);
+        assert!(witness.contains("u[i]"), "{witness}");
+        assert!(witness.contains("u[i − 1]"), "{witness}");
+    }
+
+    #[test]
+    fn reduction_is_legal_with_ulp() {
+        let l = launch(
+            AccessSet::new(4096)
+                .read("u", 0, 1)
+                .reduce("qc", 0, ReduceOp::Sum),
+        );
+        let c = certify_launch(0, &l, &ctx());
+        assert_eq!(c.width, 8);
+        assert_eq!(
+            c.legality,
+            VectorLegality::LegalWithUlp {
+                op: ReduceOp::Sum,
+                ulp_bound: 3
+            }
+        );
+        assert_eq!(c.ulp_bound, 3);
+        assert!(c.certified_legal());
+        // Max reductions are exact: no ULP verdict.
+        let exact = launch(
+            AccessSet::new(4096)
+                .read("u", 0, 1)
+                .reduce("qc", 0, ReduceOp::Max),
+        );
+        assert_eq!(
+            certify_launch(0, &exact, &ctx()).legality,
+            VectorLegality::Legal
+        );
+    }
+
+    #[test]
+    fn tree_bound_is_log2() {
+        assert_eq!(tree_ulp_bound(1), 0);
+        assert_eq!(tree_ulp_bound(2), 1);
+        assert_eq!(tree_ulp_bound(4), 2);
+        assert_eq!(tree_ulp_bound(8), 3);
+    }
+
+    #[test]
+    fn stride_and_alignment_classification() {
+        let strided = launch(AccessSet::new(4096).write("r", 1, 7));
+        let c = certify_launch(0, &strided, &ctx());
+        assert_eq!(c.stride_class, StrideClass::Strided);
+        assert_eq!(c.align_residue, 1);
+        let mut gather = launch(AccessSet::new(4096).write("u", 0, 1));
+        gather.nest.innermost_contiguous = false;
+        assert_eq!(
+            certify_launch(0, &gather, &ctx()).stride_class,
+            StrideClass::Gather
+        );
+    }
+
+    #[test]
+    fn diags_fire_per_verdict() {
+        let mut p = Program::new("t");
+        // Illegal + vectorized → error.
+        p.push(crate::program::Op::Launch(launch(
+            AccessSet::new(4096).write("u", 0, 1).read("u", -1, 1),
+        )));
+        // Reduction → info.
+        p.push(crate::program::Op::Launch(launch(
+            AccessSet::new(4096)
+                .read("u", 0, 1)
+                .reduce("qc", 0, ReduceOp::Sum),
+        )));
+        // Misaligned store → info.
+        p.push(crate::program::Op::Launch(launch(
+            AccessSet::new(4096).write("u", 3, 1),
+        )));
+        // Sequential but provably independent → info.
+        let mut seq = launch(AccessSet::stencil(4096, "u", 100_000, 0, 4, 64));
+        seq.clauses.clear();
+        seq.nest = seq.nest.with_dependence();
+        p.push(crate::program::Op::Launch(seq));
+        let ds = check(&p, &ctx());
+        let rules: Vec<Rule> = ds.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::VectorLaneDependence));
+        assert!(rules.contains(&Rule::VectorReassociation));
+        assert!(rules.contains(&Rule::VectorMisalignment));
+        assert!(rules.contains(&Rule::VectorizableSequential));
+        assert_eq!(
+            ds.iter().filter(|d| d.severity == Severity::Error).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn crosscheck_agrees_on_legal_and_illegal() {
+        let clean = lane_crosscheck(&launch(AccessSet::stencil(4096, "u", 100_000, 0, 4, 64)));
+        assert!(clean.agree(), "{clean:?}");
+        assert!(clean
+            .per_width
+            .iter()
+            .all(|w| w.static_safe && w.dynamic_safe));
+
+        let broken = lane_crosscheck(&launch(
+            AccessSet::new(4096).write("u", 0, 1).read("u", -1, 1),
+        ));
+        assert!(broken.agree(), "{broken:?}");
+        assert!(broken
+            .per_width
+            .iter()
+            .all(|w| !w.static_safe && !w.dynamic_safe));
+
+        // Distance 4: the tiers must flip together exactly at width 8.
+        let edge = lane_crosscheck(&launch(
+            AccessSet::new(4096).write("u", 0, 1).read("u", -4, 1),
+        ));
+        assert!(edge.agree(), "{edge:?}");
+        for w in &edge.per_width {
+            assert_eq!(w.static_safe, w.width <= 4, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn crosscheck_catches_misaligned_base_dynamically() {
+        let cc = lane_crosscheck(&launch(AccessSet::new(4096).write("u", 3, 1)));
+        assert!(cc.agree());
+        // The replay itself must have observed residue 3 at width 8.
+        let replay = replay_lanes(
+            &sanitize::scaled(&AccessSet::new(4096).write("u", 3, 1), LANE_REPLAY_TRIP),
+            8,
+        );
+        assert_eq!(replay.write_residues(), vec![("u".to_string(), 3)]);
+    }
+}

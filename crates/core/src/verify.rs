@@ -24,9 +24,10 @@
 
 use crate::case::{ImagePlacement, OptimizationConfig, SeismicCase, Workload};
 use crate::plan::{self, LaunchSpec, Phase};
+use acc_verify::vectorize::{VectorCertificate, VECTOR_ALIGN};
 use acc_verify::{Launch, Op, Program};
-use openacc_sim::access::AccessSet;
-use openacc_sim::{Clause, Compiler};
+use openacc_sim::access::{AccessSet, ReduceOp};
+use openacc_sim::{Clause, Compiler, ConstructKind, LoopNest};
 use seismic_grid::STENCIL_HALF;
 use seismic_model::footprint::Formulation;
 
@@ -48,17 +49,26 @@ struct SlotLayout {
 impl SlotLayout {
     fn new(w: &Workload) -> Self {
         let row = w.nx as i64;
-        let pad = STENCIL_HALF as i64 * row + STENCIL_HALF as i64;
+        // Pad and slot size are rounded up to the vector alignment so
+        // every slot base lands on a VECTOR_ALIGN boundary: the store
+        // streams the vectorization verifier certifies start aligned, and
+        // the `misalign_base` mutation is a genuine 0 → nonzero flip.
+        let pad = align_up(STENCIL_HALF as i64 * row + STENCIL_HALF as i64);
         SlotLayout {
             row,
             pad,
-            slot: w.alloc_points(STENCIL_HALF) as i64 + 2 * pad,
+            slot: align_up(w.alloc_points(STENCIL_HALF) as i64 + 2 * pad),
         }
     }
 
     fn base(&self, slot: usize) -> i64 {
         slot as i64 * self.slot + self.pad
     }
+}
+
+/// Round up to the next multiple of [`VECTOR_ALIGN`].
+fn align_up(v: i64) -> i64 {
+    (v + VECTOR_ALIGN - 1) / VECTOR_ALIGN * VECTOR_ALIGN
 }
 
 /// The FD-star footprint: write `array[out + i]`, read the full 8th-order
@@ -162,6 +172,26 @@ fn source_op(
     Op::Launch(to_launch(&src, access))
 }
 
+/// The per-step QC energy norm: a flat `sum(u[i]²)` sweep over the newest
+/// wavefield slot, accumulated with a declared `reduction(+:...)` into a
+/// dedicated (aligned) cell of `qc_slot`. This is the drivers' solver-QC
+/// / convergence check, and it gives every program a declared FP
+/// reduction for the vectorization verifier to judge: lane-private
+/// partials are race-free, but a vectorized `+` combine reassociates, so
+/// the certificate carries a documented ULP bound instead of `Legal`.
+fn qc_norm_op(array: &str, lay: &SlotLayout, in_slot: usize, qc_slot: usize, trip: u64) -> Op {
+    Op::Launch(Launch {
+        name: "qc_energy_norm".into(),
+        nest: LoopNest::new(&[trip]),
+        kind: ConstructKind::Kernels,
+        clauses: vec![Clause::Independent],
+        access: AccessSet::new(trip)
+            .read(array, lay.base(in_slot), 1)
+            .reduce(array, lay.base(qc_slot), ReduceOp::Sum),
+        regs: 16,
+    })
+}
+
 /// The modeling driver's directive program (mirrors
 /// [`crate::gpu_time::modeling_time`]).
 pub fn modeling_program(
@@ -173,6 +203,8 @@ pub fn modeling_program(
     let lay = SlotLayout::new(w);
     let phases = plan::step_phases(case, config, w, compiler);
     let (slots, n_slots) = assign_slots(&phases);
+    let newest_slot = slots.last().and_then(|s| s.last()).copied().unwrap_or(0);
+    let qc_trip = (lay.slot - 2 * lay.pad) as u64;
     let mut p = Program::new(format!("{} modeling", case.label()));
     p.push(Op::EnterDataCopyin {
         array: "fields".into(),
@@ -181,6 +213,13 @@ pub fn modeling_program(
     for step in 0..steps {
         emit_step(&mut p.ops, &phases, "fields", &lay, &slots);
         p.push(source_op(case, compiler, config, "fields", &lay, n_slots));
+        p.push(qc_norm_op(
+            "fields",
+            &lay,
+            newest_slot,
+            n_slots + 1,
+            qc_trip,
+        ));
         if step % w.snap_period == 0 {
             p.push(Op::UpdateHost {
                 array: "fields".into(),
@@ -213,6 +252,9 @@ pub fn rtm_program(
     let src_slot = n_slots;
     let rcv_slot = n_slots + 1;
     let img_slot = n_slots + 2;
+    let qc_slot = n_slots + 3;
+    let newest_slot = slots.last().and_then(|s| s.last()).copied().unwrap_or(0);
+    let qc_trip = (lay.slot - 2 * lay.pad) as u64;
 
     let mut p = Program::new(format!("{} RTM", case.label()));
 
@@ -223,6 +265,7 @@ pub fn rtm_program(
     for step in 0..steps {
         emit_step(&mut p.ops, &phases, "forward", &lay, &slots);
         p.push(source_op(case, compiler, config, "forward", &lay, src_slot));
+        p.push(qc_norm_op("forward", &lay, newest_slot, qc_slot, qc_trip));
         if step % w.snap_period == 0 {
             p.push(Op::UpdateHost {
                 array: "forward".into(),
@@ -298,6 +341,7 @@ pub fn rtm_program(
                 .write("backward", base, 7);
             p.push(Op::Launch(to_launch(r, access)));
         }
+        p.push(qc_norm_op("backward", &lay, newest_slot, qc_slot, qc_trip));
         if iso_consistency {
             p.push(Op::UpdateHost {
                 array: "backward".into(),
@@ -388,6 +432,116 @@ pub fn drop_waits(p: &mut Program) -> usize {
     p.ops
         .retain(|op| !matches!(op, Op::Wait | Op::WaitQueue(_)));
     before - p.ops.len()
+}
+
+/// Whether a launch is a target for the vector-legality mutations: a
+/// parallelized loop with a unit-stride store stream (the shape the
+/// verifier certifies at width ≥ 2 on the clean programs).
+fn vector_breakable(l: &Launch) -> bool {
+    (l.claims_independent() || !l.nest.innermost_dependence)
+        && l.access.writes.iter().any(|w| w.stride == 1)
+}
+
+/// Mutation: give the `nth` vectorizable launch a distance-1 carried
+/// dependence — `u[i] = f(u[i−1])`, the running recurrence — so any two
+/// adjacent iterations share an element and no lane width ≥ 2 is legal.
+/// Both tiers must flip: the static certificate to `Illegal` with a
+/// distance-1 witness, and the chunked lane replay to a conflict in every
+/// chunk. Returns the mutated op index.
+pub fn break_vector_distance1(p: &mut Program, nth: usize) -> Option<usize> {
+    let mut seen = 0;
+    for (i, op) in p.ops.iter_mut().enumerate() {
+        if let Op::Launch(l) = op {
+            if vector_breakable(l) {
+                if seen == nth {
+                    let w = l.access.writes.iter().find(|w| w.stride == 1).cloned()?;
+                    l.access = AccessSet::new(l.access.trip)
+                        .write(w.array.clone(), w.offset, 1)
+                        .read(w.array, w.offset - 1, 1);
+                    return Some(i);
+                }
+                seen += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Mutation: shift the `nth` vectorizable launch's unit-stride store
+/// bases by one element. Slot bases are [`VECTOR_ALIGN`]-aligned by
+/// construction, so this flips the certificate's alignment residue from
+/// 0 to 1 — every vector store now straddles an alignment boundary —
+/// without introducing any dependence. Returns the mutated op index.
+pub fn misalign_base(p: &mut Program, nth: usize) -> Option<usize> {
+    let mut seen = 0;
+    for (i, op) in p.ops.iter_mut().enumerate() {
+        if let Op::Launch(l) = op {
+            if vector_breakable(l) {
+                if seen == nth {
+                    for w in &mut l.access.writes {
+                        if w.stride == 1 {
+                            w.offset += 1;
+                        }
+                    }
+                    return Some(i);
+                }
+                seen += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Mutation: swap the `nth` declared-reduction launch's `reduction(+:...)`
+/// for a running prefix recurrence — `acc[i] = acc[i−1] + u[i]` spelled as
+/// plain writes/reads. The lane-private-partials exemption no longer
+/// applies: the loop now carries a genuine distance-1 dependence, and both
+/// tiers must flip from `LegalWithUlp` to illegal. Returns the op index.
+pub fn break_reduction_recurrence(p: &mut Program, nth: usize) -> Option<usize> {
+    let mut seen = 0;
+    for (i, op) in p.ops.iter_mut().enumerate() {
+        if let Op::Launch(l) = op {
+            if !l.access.reductions.is_empty() {
+                if seen == nth {
+                    let r = l.access.reductions[0].clone();
+                    let mut access = l.access.clone();
+                    access.reductions.clear();
+                    l.access =
+                        access
+                            .write(r.array.clone(), r.offset, 1)
+                            .read(r.array, r.offset - 1, 1);
+                    return Some(i);
+                }
+                seen += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Count of launches [`break_vector_distance1`] / [`misalign_base`] could
+/// target.
+pub fn vector_breakable_launches(p: &Program) -> usize {
+    p.launches().filter(|(_, l)| vector_breakable(l)).count()
+}
+
+/// Count of launches [`break_reduction_recurrence`] could target.
+pub fn reduction_launches(p: &Program) -> usize {
+    p.launches()
+        .filter(|(_, l)| !l.access.reductions.is_empty())
+        .count()
+}
+
+/// Feed a program's vector certificates to the host engine's SIMD width
+/// registry ([`exec_host::simd`]): a certified-legal loop publishes its
+/// proven width, anything else publishes scalar (1). `exec_host::tiles_for`
+/// then annotates the matching host sweeps, so the loop scheduler's lane
+/// assumption is exactly what the verifier proved — never more.
+pub fn publish_certificates(certs: &[VectorCertificate]) {
+    for c in certs {
+        let width = if c.certified_legal() { c.width } else { 1 };
+        exec_host::simd::publish_width(&c.kernel, width);
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +695,173 @@ mod tests {
             diags.iter().any(|d| d.rule == Rule::DoubleDelete),
             "{diags:?}"
         );
+    }
+
+    /// Every one of the 12 programs carries the QC reduction kernel, and
+    /// every program has at least one innermost loop certified legal at
+    /// width ≥ 2 — with the Tier-2 lane replay agreeing on every verdict.
+    #[test]
+    fn all_programs_get_vector_certificates_with_a_legal_loop() {
+        use acc_verify::vectorize;
+        let cfg = OptimizationConfig::default();
+        for case in SeismicCase::all() {
+            let w = test_workload(case.dims);
+            for prog in case_programs(&case, &cfg, PGI, &w) {
+                let certs = vectorize::certify_program(&prog, &ctx());
+                assert!(
+                    certs
+                        .iter()
+                        .any(|c| c.kernel == "qc_energy_norm" && c.ulp_bound > 0),
+                    "{}: QC reduction kernel missing or unbounded",
+                    prog.name
+                );
+                assert!(
+                    certs.iter().any(|c| c.certified_legal()),
+                    "{}: no certified-legal innermost loop: {certs:?}",
+                    prog.name
+                );
+                for cc in vectorize::lane_crosscheck_program(&prog) {
+                    assert!(cc.agree(), "{}: tiers disagree: {cc:?}", prog.name);
+                }
+            }
+        }
+    }
+
+    /// Seeded mutation 1: a distance-1 carried dependence flips the loop's
+    /// verdict in the static tier (certificate → Illegal, width 1) AND in
+    /// the dynamic tier (lane replay conflicts at every width ≥ 2).
+    #[test]
+    fn distance1_mutation_flips_both_tiers() {
+        use acc_verify::vectorize;
+        let case = SeismicCase {
+            formulation: Formulation::Acoustic,
+            dims: Dims::Two,
+        };
+        let w = test_workload(Dims::Two);
+        let cfg = OptimizationConfig::default();
+        let clean = modeling_program(&case, &cfg, PGI, &w);
+        let mut broken = modeling_program(&case, &cfg, PGI, &w);
+        assert!(vector_breakable_launches(&clean) > 0);
+        let op = break_vector_distance1(&mut broken, 0).expect("an eligible launch");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op]) else {
+            panic!("mutated op must be a launch");
+        };
+        // Static tier flips.
+        let c0 = vectorize::certify_launch(op, before, &ctx());
+        let c1 = vectorize::certify_launch(op, after, &ctx());
+        assert!(c0.certified_legal(), "{c0:?}");
+        assert!(!c1.legality.is_legal() && c1.width == 1, "{c1:?}");
+        assert_eq!(c1.min_distance, Some(1));
+        // Dynamic tier flips, and both tiers agree before and after.
+        let l0 = vectorize::lane_crosscheck(before);
+        let l1 = vectorize::lane_crosscheck(after);
+        assert!(l0.agree() && l0.per_width.iter().all(|wc| wc.dynamic_safe));
+        assert!(l1.agree() && l1.per_width.iter().all(|wc| !wc.dynamic_safe));
+        // And the program-level run reports the lane-dependence error.
+        let diags = acc_verify::verify_program(&broken, &ctx());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::VectorLaneDependence && d.span.op == op),
+            "{diags:?}"
+        );
+    }
+
+    /// Seeded mutation 2: shifting an aligned store base by one element
+    /// flips the alignment residue from 0 to 1 in the certificate, and the
+    /// Tier-2 replay observes the same residue (crosscheck still agrees).
+    #[test]
+    fn misaligned_base_mutation_flips_residue() {
+        use acc_verify::vectorize;
+        let case = SeismicCase {
+            formulation: Formulation::Isotropic,
+            dims: Dims::Three,
+        };
+        let w = test_workload(Dims::Three);
+        let cfg = OptimizationConfig::default();
+        let clean = modeling_program(&case, &cfg, PGI, &w);
+        let mut broken = modeling_program(&case, &cfg, PGI, &w);
+        let op = misalign_base(&mut broken, 0).expect("an eligible launch");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op]) else {
+            panic!("mutated op must be a launch");
+        };
+        let c0 = vectorize::certify_launch(op, before, &ctx());
+        let c1 = vectorize::certify_launch(op, after, &ctx());
+        assert_eq!(c0.align_residue, 0, "slot bases must start aligned: {c0:?}");
+        assert_eq!(c1.align_residue, 1, "{c1:?}");
+        // Still legal (no dependence was introduced) — just unaligned.
+        assert!(c1.certified_legal(), "{c1:?}");
+        let l1 = vectorize::lane_crosscheck(after);
+        assert!(
+            l1.agree() && l1.residue_agrees,
+            "replay must see it: {l1:?}"
+        );
+        let diags = acc_verify::verify_program(&broken, &ctx());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::VectorMisalignment && d.span.op == op),
+            "{diags:?}"
+        );
+    }
+
+    /// Seeded mutation 3: swapping the declared `reduction(+:...)` for a
+    /// running prefix recurrence loses the lane-private exemption — both
+    /// tiers flip from LegalWithUlp to a distance-1 illegal verdict.
+    #[test]
+    fn reduction_recurrence_mutation_flips_both_tiers() {
+        use acc_verify::vectorize;
+        let case = SeismicCase {
+            formulation: Formulation::Elastic,
+            dims: Dims::Two,
+        };
+        let w = test_workload(Dims::Two);
+        let cfg = OptimizationConfig::default();
+        let clean = rtm_program(&case, &cfg, PGI, &w);
+        let mut broken = rtm_program(&case, &cfg, PGI, &w);
+        assert!(reduction_launches(&clean) > 0, "QC kernels must be present");
+        let op = break_reduction_recurrence(&mut broken, 0).expect("a reduction launch");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op]) else {
+            panic!("mutated op must be a launch");
+        };
+        let c0 = vectorize::certify_launch(op, before, &ctx());
+        let c1 = vectorize::certify_launch(op, after, &ctx());
+        assert!(
+            matches!(c0.legality, acc_verify::VectorLegality::LegalWithUlp { .. })
+                && c0.ulp_bound > 0,
+            "{c0:?}"
+        );
+        assert!(
+            !c1.legality.is_legal() && c1.min_distance == Some(1),
+            "{c1:?}"
+        );
+        let l0 = vectorize::lane_crosscheck(before);
+        let l1 = vectorize::lane_crosscheck(after);
+        assert!(l0.agree() && l0.per_width.iter().all(|wc| wc.dynamic_safe));
+        assert!(l1.agree() && l1.per_width.iter().all(|wc| !wc.dynamic_safe));
+    }
+
+    /// Certified widths flow into the host engine: publishing a program's
+    /// certificates makes `exec_host::tiles_for` annotate the matching
+    /// sweep with the proven width.
+    #[test]
+    fn certificates_publish_to_host_registry() {
+        use acc_verify::vectorize;
+        let case = SeismicCase {
+            formulation: Formulation::Isotropic,
+            dims: Dims::Two,
+        };
+        let w = test_workload(Dims::Two);
+        let prog = modeling_program(&case, &OptimizationConfig::default(), PGI, &w);
+        let certs = vectorize::certify_program(&prog, &ctx());
+        publish_certificates(&certs);
+        let legal = certs
+            .iter()
+            .find(|c| c.certified_legal())
+            .expect("a certified loop");
+        assert_eq!(exec_host::simd::certified_width(&legal.kernel), legal.width);
+        let tiling = exec_host::tiles_for(&legal.kernel, 100_000, 3, 9);
+        assert_eq!(tiling.vector_width, legal.width);
     }
 
     #[test]

@@ -23,14 +23,19 @@
 //!   z-slab × x-tile loop schedule of the stencil sweeps from the stencil
 //!   footprint and a cache budget (à la the paper's loop-schedule
 //!   experiments), with an `ACC_TILE_X` env override.
+//! * [`simd`] — the registry of SIMD widths *certified* by the
+//!   vectorization verifier (`acc-verify::vectorize`): sweeps annotate
+//!   their tilings via [`tiles_for`] with the widest lane count whose
+//!   legality was proven, never assumed.
 //!
 //! Everything here is `std`-only and dependency-free; `openacc-sim`
 //! re-exports this crate as its gang execution backend.
 
 pub mod arena;
 pub mod pool;
+pub mod simd;
 pub mod tile;
 
 pub use arena::Arena;
 pub use pool::{slab_bounds, GangPool};
-pub use tile::{tiles, Tiling};
+pub use tile::{tiles, tiles_for, Tiling};

@@ -29,9 +29,38 @@
 //! launches.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+
+/// Synchronization primitives, swappable for `loom`'s model-checked
+/// versions: build with `RUSTFLAGS="--cfg loom"` and the pool's barrier
+/// protocol runs under bounded schedule exploration (see
+/// `tests/loom_pool.rs`) instead of real threads.
+#[cfg(not(loom))]
+mod sys {
+    pub use std::sync::atomic::{AtomicUsize, Ordering};
+    pub use std::sync::{Condvar, Mutex};
+    pub use std::thread;
+
+    /// Fork-join spin budget before parking on the condvar.
+    pub const SPIN_LIMIT: u32 = 1 << 14;
+}
+
+#[cfg(loom)]
+mod sys {
+    pub use loom::sync::atomic::{AtomicUsize, Ordering};
+    pub use loom::sync::{Condvar, Mutex};
+    pub use loom::thread;
+
+    /// Spinning never makes progress under the serialized model scheduler
+    /// (no other thread runs while we spin), so park immediately.
+    pub const SPIN_LIMIT: u32 = 0;
+}
+
+use sys::{thread, AtomicUsize, Condvar, Mutex, Ordering, SPIN_LIMIT};
+
+#[cfg(not(loom))]
+use std::sync::OnceLock;
+
+type JoinHandle = thread::JoinHandle<()>;
 
 /// Bounds `(z0, z1)` of slab `g` when `[0, n)` is split over `gangs`
 /// contiguous chunks, remainder spread over the leading gangs — the same
@@ -99,7 +128,7 @@ unsafe impl Send for Shared {}
 /// dedicated instances ([`GangPool::new`]) exist for tests and benches.
 pub struct GangPool {
     shared: &'static Shared,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle>,
     /// Serializes launches; contended callers run inline.
     launch: Mutex<()>,
     /// Total launches that went through the parked-worker path.
@@ -127,7 +156,7 @@ impl GangPool {
         }));
         let workers = (0..workers)
             .map(|i| {
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("gang-worker-{i}"))
                     .spawn(move || worker_loop(shared))
                     .expect("spawn gang worker")
@@ -147,6 +176,7 @@ impl GangPool {
     /// OpenACC gang clamp), so a launch of G gangs uses
     /// `min(G, cores)` threads and queues the rest through the claim
     /// counter.
+    #[cfg(not(loom))]
     pub fn global() -> &'static GangPool {
         static POOL: OnceLock<GangPool> = OnceLock::new();
         POOL.get_or_init(|| {
@@ -164,6 +194,7 @@ impl GangPool {
 
     /// Thread ids of the parked workers — lets tests verify that
     /// back-to-back launches reuse the same OS threads.
+    #[cfg(not(loom))]
     pub fn worker_ids(&self) -> Vec<std::thread::ThreadId> {
         self.workers.iter().map(|h| h.thread().id()).collect()
     }
@@ -241,7 +272,7 @@ impl GangPool {
         let mut spins = 0u32;
         while shared.done.load(Ordering::Acquire) < gangs {
             spins += 1;
-            if spins < 1 << 14 {
+            if spins < SPIN_LIMIT {
                 std::hint::spin_loop();
             } else {
                 let mut ctl = shared.ctl.lock().expect("pool poisoned");
@@ -334,7 +365,7 @@ fn worker_loop(shared: &'static Shared) {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -1,0 +1,90 @@
+//! Process-wide registry of *certified* SIMD widths.
+//!
+//! The vectorization verifier (`acc-verify::vectorize`) proves, per kernel,
+//! the widest lane count `N` for which every carried dependence has
+//! distance ≥ N. The host engine consumes those proofs here: sweeps look
+//! their kernel name up and annotate their tilings with the certified
+//! width, so the loop scheduler never assumes more SIMD parallelism than
+//! the verifier could justify.
+//!
+//! Publication is *monotone downward*: if two certificates disagree for
+//! one kernel name (e.g. the same stencil certified under two compiler
+//! contexts), the smaller width wins — a width is a promise, and the
+//! weakest promise is the only one safe to act on. Unknown kernels
+//! default to width 1 (scalar), the always-legal fallback.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<HashMap<String, u32>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Record a certified width for `kernel`. Widths only ever shrink: a
+/// second publication with a smaller width replaces the first, a larger
+/// one is ignored.
+pub fn publish_width(kernel: &str, width: u32) {
+    let width = width.max(1);
+    let mut map = registry().lock().unwrap();
+    map.entry(kernel.to_string())
+        .and_modify(|w| *w = (*w).min(width))
+        .or_insert(width);
+}
+
+/// The certified width for `kernel`, or 1 (scalar) when no certificate
+/// has been published.
+pub fn certified_width(kernel: &str) -> u32 {
+    registry().lock().unwrap().get(kernel).copied().unwrap_or(1)
+}
+
+/// Drop every published certificate (test isolation).
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// Snapshot of the registry, sorted by kernel name (for reports).
+pub fn snapshot() -> Vec<(String, u32)> {
+    let map = registry().lock().unwrap();
+    let mut v: Vec<_> = map.iter().map(|(k, w)| (k.clone(), *w)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kernel_is_scalar() {
+        clear();
+        assert_eq!(certified_width("nobody_published_me"), 1);
+    }
+
+    #[test]
+    fn publication_is_monotone_downward() {
+        clear();
+        publish_width("simd_sweep", 8);
+        assert_eq!(certified_width("simd_sweep"), 8);
+        publish_width("simd_sweep", 4);
+        assert_eq!(certified_width("simd_sweep"), 4);
+        publish_width("simd_sweep", 8);
+        assert_eq!(certified_width("simd_sweep"), 4, "widths never grow");
+        publish_width("simd_sweep", 0);
+        assert_eq!(certified_width("simd_sweep"), 1, "clamped to scalar");
+        clear();
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        clear();
+        publish_width("b_kernel", 2);
+        publish_width("a_kernel", 8);
+        let snap = snapshot();
+        assert_eq!(
+            snap,
+            vec![("a_kernel".to_string(), 8), ("b_kernel".to_string(), 2)]
+        );
+        clear();
+    }
+}

@@ -32,6 +32,12 @@ const MAX_TILE: usize = 4096;
 pub struct Tiling {
     /// Tile width in grid points (last tile may be shorter).
     pub tile_x: usize,
+    /// SIMD width certified for this sweep by the vectorization verifier
+    /// (see [`crate::simd`]); 1 when no certificate exists. Annotation
+    /// only — the scalar loops stay correct at any width — but it tells
+    /// the scheduler (and the experiment reports) how many lanes the
+    /// innermost loop is *proven* to support.
+    pub vector_width: u32,
 }
 
 impl Tiling {
@@ -42,6 +48,12 @@ impl Tiling {
         (lo..hi)
             .step_by(tile)
             .map(move |x0| (x0, (x0 + tile).min(hi)))
+    }
+
+    /// Builder: attach a certified SIMD width.
+    pub fn with_vector_width(mut self, width: u32) -> Self {
+        self.vector_width = width.max(1);
+        self
     }
 }
 
@@ -76,7 +88,10 @@ pub fn set_tile_override(tile: usize) {
 pub fn tiles(nx: usize, fields: usize, rows: usize) -> Tiling {
     let forced = tile_override();
     if forced != 0 {
-        return Tiling { tile_x: forced };
+        return Tiling {
+            tile_x: forced,
+            vector_width: 1,
+        };
     }
     let bytes_per_col = fields.max(1) * rows.max(1) * 4;
     let fit = CACHE_BUDGET_BYTES / bytes_per_col.max(1);
@@ -84,10 +99,24 @@ pub fn tiles(nx: usize, fields: usize, rows: usize) -> Tiling {
     if tile >= nx {
         // Whole row fits: one tile, zero overhead — small grids see the
         // exact pre-tiling loop structure.
-        Tiling { tile_x: nx.max(1) }
+        Tiling {
+            tile_x: nx.max(1),
+            vector_width: 1,
+        }
     } else {
-        Tiling { tile_x: tile }
+        Tiling {
+            tile_x: tile,
+            vector_width: 1,
+        }
     }
+}
+
+/// Like [`tiles`], but additionally annotates the tiling with the SIMD
+/// width certified for `kernel` by the vectorization verifier (via
+/// [`crate::simd::certified_width`]); scalar (1) when nothing has been
+/// published for that kernel.
+pub fn tiles_for(kernel: &str, nx: usize, fields: usize, rows: usize) -> Tiling {
+    tiles(nx, fields, rows).with_vector_width(crate::simd::certified_width(kernel))
 }
 
 #[cfg(test)]
@@ -113,7 +142,10 @@ mod tests {
     #[test]
     fn ranges_cover_exactly_once() {
         for tile in [1usize, 3, 64, 1000] {
-            let t = Tiling { tile_x: tile };
+            let t = Tiling {
+                tile_x: tile,
+                vector_width: 1,
+            };
             let mut expect = 4usize;
             for (x0, x1) in t.ranges(4, 517) {
                 assert_eq!(x0, expect);
@@ -133,7 +165,26 @@ mod tests {
 
     #[test]
     fn empty_range_yields_nothing() {
-        let t = Tiling { tile_x: 64 };
+        let t = Tiling {
+            tile_x: 64,
+            vector_width: 1,
+        };
         assert_eq!(t.ranges(10, 10).count(), 0);
+    }
+
+    #[test]
+    fn tiles_for_picks_up_certificates() {
+        set_tile_override(0);
+        crate::simd::clear();
+        assert_eq!(tiles_for("iso_kernel_2d", 5000, 3, 9).vector_width, 1);
+        crate::simd::publish_width("iso_kernel_2d", 8);
+        let t = tiles_for("iso_kernel_2d", 5000, 3, 9);
+        assert_eq!(t.vector_width, 8);
+        assert_eq!(
+            t.tile_x,
+            tiles(5000, 3, 9).tile_x,
+            "width does not change tiling"
+        );
+        crate::simd::clear();
     }
 }

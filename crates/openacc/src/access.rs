@@ -52,6 +52,54 @@ impl AffineAccess {
     }
 }
 
+/// The combining operator of a declared reduction.
+///
+/// Only the operators the propagator kernels actually use are modeled.
+/// `Sum` and `Prod` are floating-point non-associative under rounding, so
+/// vectorizing them reassociates the combine tree; `Min`/`Max` are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// `reduction(+:x)` — FP addition, reassociation changes rounding.
+    Sum,
+    /// `reduction(*:x)` — FP multiplication, reassociation changes rounding.
+    Prod,
+    /// `reduction(min:x)` — exact under any association.
+    Min,
+    /// `reduction(max:x)` — exact under any association.
+    Max,
+}
+
+impl ReduceOp {
+    /// Does reassociating this operator change the rounded result?
+    pub fn reassociation_sensitive(self) -> bool {
+        matches!(self, ReduceOp::Sum | ReduceOp::Prod)
+    }
+
+    /// The OpenACC clause spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "+",
+            ReduceOp::Prod => "*",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+}
+
+/// A declared `reduction(op:array[offset])` cell: every iteration combines
+/// into the same element through `op`. Unlike a plain stride-0 write this
+/// is *not* a race — the runtime gives each lane/gang a private partial
+/// and combines them — but vectorizing it reassociates the combine order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionAccess {
+    /// Name of the accumulated array (a data-environment mapping name).
+    pub array: String,
+    /// Element the reduction lands in.
+    pub offset: i64,
+    /// Combining operator.
+    pub op: ReduceOp,
+}
+
 /// The declared read/write footprint of one kernel launch over a
 /// linearized iteration space of `trip` iterations.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +110,9 @@ pub struct AccessSet {
     pub reads: Vec<AffineAccess>,
     /// Elements written each iteration.
     pub writes: Vec<AffineAccess>,
+    /// Declared reduction cells combined into each iteration.
+    #[serde(default)]
+    pub reductions: Vec<ReductionAccess>,
 }
 
 impl AccessSet {
@@ -71,6 +122,7 @@ impl AccessSet {
             trip,
             reads: Vec::new(),
             writes: Vec::new(),
+            reductions: Vec::new(),
         }
     }
 
@@ -83,6 +135,16 @@ impl AccessSet {
     /// Builder: add a write reference.
     pub fn write(mut self, array: impl Into<String>, offset: i64, stride: i64) -> Self {
         self.writes.push(AffineAccess::new(array, offset, stride));
+        self
+    }
+
+    /// Builder: declare a reduction cell.
+    pub fn reduce(mut self, array: impl Into<String>, offset: i64, op: ReduceOp) -> Self {
+        self.reductions.push(ReductionAccess {
+            array: array.into(),
+            offset,
+            op,
+        });
         self
     }
 
@@ -124,22 +186,29 @@ impl AccessSet {
         Self::stencil(trip, array, base, base, halo, row)
     }
 
-    /// Every array name referenced, deduplicated.
+    /// Every array name referenced, deduplicated. Reduction cells count:
+    /// the combine both reads and writes its landing element.
     pub fn arrays(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self
             .reads
             .iter()
             .chain(self.writes.iter())
             .map(|a| a.array.as_str())
+            .chain(self.reductions.iter().map(|r| r.array.as_str()))
             .collect();
         v.sort_unstable();
         v.dedup();
         v
     }
 
-    /// Arrays written, deduplicated.
+    /// Arrays written, deduplicated. A reduction writes its landing cell.
     pub fn written_arrays(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.writes.iter().map(|a| a.array.as_str()).collect();
+        let mut v: Vec<&str> = self
+            .writes
+            .iter()
+            .map(|a| a.array.as_str())
+            .chain(self.reductions.iter().map(|r| r.array.as_str()))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -155,18 +224,26 @@ impl AccessSet {
                 a.array = to.to_string();
             }
         }
+        for r in self.reductions.iter_mut() {
+            if r.array == from {
+                r.array = to.to_string();
+            }
+        }
         self
     }
 
-    /// Inclusive element range this set touches on `array` (reads and
-    /// writes combined), or `None` if the array is never referenced.
+    /// Inclusive element range this set touches on `array` (reads, writes,
+    /// and reduction cells combined), or `None` if never referenced.
     pub fn extent_on(&self, array: &str) -> Option<(i64, i64)> {
-        self.range_over(array, self.reads.iter().chain(self.writes.iter()))
+        let base = self.range_over(array, self.reads.iter().chain(self.writes.iter()));
+        merge_ranges(base, self.reduction_range(array))
     }
 
-    /// Inclusive element range this set *writes* on `array`.
+    /// Inclusive element range this set *writes* on `array` (reduction
+    /// landing cells included).
     pub fn write_extent_on(&self, array: &str) -> Option<(i64, i64)> {
-        self.range_over(array, self.writes.iter())
+        let base = self.range_over(array, self.writes.iter());
+        merge_ranges(base, self.reduction_range(array))
     }
 
     fn range_over<'a>(
@@ -177,6 +254,25 @@ impl AccessSet {
         refs.filter(|a| a.array == array)
             .filter_map(|a| a.extent(self.trip))
             .reduce(|(lo1, hi1), (lo2, hi2)| (lo1.min(lo2), hi1.max(hi2)))
+    }
+
+    fn reduction_range(&self, array: &str) -> Option<(i64, i64)> {
+        if self.trip == 0 {
+            return None;
+        }
+        self.reductions
+            .iter()
+            .filter(|r| r.array == array)
+            .map(|r| (r.offset, r.offset))
+            .reduce(|(lo1, hi1), (lo2, hi2)| (lo1.min(lo2), hi1.max(hi2)))
+    }
+}
+
+fn merge_ranges(a: Option<(i64, i64)>, b: Option<(i64, i64)>) -> Option<(i64, i64)> {
+    match (a, b) {
+        (Some((lo1, hi1)), Some((lo2, hi2))) => Some((lo1.min(lo2), hi1.max(hi2))),
+        (Some(r), None) | (None, Some(r)) => Some(r),
+        (None, None) => None,
     }
 }
 
@@ -231,5 +327,20 @@ mod tests {
             .rename_array("a", "forward");
         assert_eq!(s.arrays(), vec!["b", "forward"]);
         assert_eq!(s.written_arrays(), vec!["forward"]);
+    }
+
+    #[test]
+    fn reductions_count_as_writes_in_footprints() {
+        let s = AccessSet::new(64)
+            .read("u", 0, 1)
+            .reduce("qc", 5, ReduceOp::Sum)
+            .rename_array("qc", "fields");
+        assert_eq!(s.arrays(), vec!["fields", "u"]);
+        assert_eq!(s.written_arrays(), vec!["fields"]);
+        assert_eq!(s.extent_on("fields"), Some((5, 5)));
+        assert_eq!(s.write_extent_on("fields"), Some((5, 5)));
+        assert!(ReduceOp::Sum.reassociation_sensitive());
+        assert!(!ReduceOp::Max.reassociation_sensitive());
+        assert_eq!(ReduceOp::Sum.symbol(), "+");
     }
 }

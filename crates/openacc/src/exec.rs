@@ -404,6 +404,202 @@ pub fn replay_access_set(access: &AccessSet, gangs: usize) -> ShadowLog {
     })
 }
 
+/// A conflict between two lanes of the *same* SIMD chunk witnessed during
+/// lane replay: both iterations would execute simultaneously in one vector
+/// instruction, so an element shared with a write involved makes the
+/// `vector(width)` mapping illegal. Cross-chunk sharing is fine — chunks
+/// retire in iteration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneConflict {
+    /// Array touched.
+    pub array: String,
+    /// Conflicting element index.
+    pub elem: i64,
+    /// Chunk (vector-instruction index) both lanes belong to.
+    pub chunk: u64,
+    /// Iteration performing the write.
+    pub write_iter: u64,
+    /// Distinct iteration in the same chunk touching the same element.
+    pub other_iter: u64,
+    /// True when both lane accesses were writes.
+    pub write_write: bool,
+}
+
+/// What the lane replay measured about one declared access stream, from
+/// the addresses it actually touched (not from the descriptor fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedLaneAccess {
+    /// Array touched.
+    pub array: String,
+    /// True for the write stream.
+    pub write: bool,
+    /// Element lane 0 of chunk 0 touched.
+    pub first_elem: i64,
+    /// Constant element delta between adjacent lanes, when every adjacent
+    /// pair in every replayed chunk agreed; `None` means the stream is not
+    /// an arithmetic lane progression (a gather).
+    pub lane_delta: Option<i64>,
+    /// `first_elem mod width` — the alignment residue of the stream base.
+    pub residue: i64,
+}
+
+/// The record of one lane-granularity replay: the declared access set
+/// executed in `width`-wide chunks, sequentially chunk by chunk, with
+/// every intra-chunk element collision logged.
+#[derive(Debug, Clone, Default)]
+pub struct LaneReplay {
+    /// Lane width replayed at.
+    pub width: u32,
+    /// Iterations replayed.
+    pub trip: u64,
+    /// Intra-chunk conflicts (empty ⇔ the mapping is lane-safe).
+    pub conflicts: Vec<LaneConflict>,
+    /// Per-stream stride/alignment measurements.
+    pub observed: Vec<ObservedLaneAccess>,
+}
+
+impl LaneReplay {
+    /// True when no two lanes of any chunk collided — the dynamic analogue
+    /// of "minimum carried dependence distance ≥ width".
+    pub fn lane_safe(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// True when every stream advanced by exactly ±1 element per lane
+    /// (stride-0 broadcast reads are allowed — they don't consume
+    /// bandwidth per lane).
+    pub fn unit_stride(&self) -> bool {
+        self.observed
+            .iter()
+            .all(|o| matches!(o.lane_delta, Some(-1..=1)))
+    }
+
+    /// The alignment residue of each written stream's base, one entry per
+    /// write in declaration order.
+    pub fn write_residues(&self) -> Vec<(String, i64)> {
+        self.observed
+            .iter()
+            .filter(|o| o.write)
+            .map(|o| (o.array.clone(), o.residue))
+            .collect()
+    }
+}
+
+/// Replay a declared [`AccessSet`] through `width`-wide SIMD chunks:
+/// chunk `c` executes iterations `[c·width, (c+1)·width)` as simultaneous
+/// lanes, chunks retire strictly in order. Any element touched by two
+/// distinct lanes of the *same* chunk with a write involved is recorded as
+/// a [`LaneConflict`]. Declared reduction cells replay lane-private (each
+/// lane owns a partial, combined after the loop) and are exempt.
+///
+/// This is the dynamic tier of the vectorization verifier: the static
+/// claim "no carried dependence shorter than `width`" must be equivalent
+/// to this replay finding no conflict, on the same trip count.
+pub fn replay_lanes(access: &AccessSet, width: u32) -> LaneReplay {
+    assert!(width >= 1, "lane width must be positive");
+    let w = width as u64;
+    let trip = access.trip;
+    let mut conflicts = Vec::new();
+    // (array id, elem) -> (iter, wrote) for the current chunk only.
+    let mut chunk_map: HashMap<(usize, i64), (u64, bool)> = HashMap::new();
+    let names: Vec<&str> = access
+        .writes
+        .iter()
+        .chain(access.reads.iter())
+        .map(|a| a.array.as_str())
+        .collect();
+    let streams: Vec<(&crate::access::AffineAccess, bool)> = access
+        .writes
+        .iter()
+        .map(|a| (a, true))
+        .chain(access.reads.iter().map(|a| (a, false)))
+        .collect();
+    let mut chunk = 0u64;
+    let mut i = 0u64;
+    while i < trip {
+        let end = (i + w).min(trip);
+        chunk_map.clear();
+        for iter in i..end {
+            for (sid, (a, write)) in streams.iter().enumerate() {
+                let elem = a.at(iter);
+                match chunk_map.get_mut(&(sid_array(&names, sid), elem)) {
+                    Some((prev, wrote)) => {
+                        let pw = *wrote;
+                        if *prev != iter && (pw || *write) {
+                            let (wi, oi, ww) = if *write {
+                                (iter, *prev, pw)
+                            } else {
+                                (*prev, iter, false)
+                            };
+                            conflicts.push(LaneConflict {
+                                array: a.array.clone(),
+                                elem,
+                                chunk,
+                                write_iter: wi,
+                                other_iter: oi,
+                                write_write: ww,
+                            });
+                        }
+                        *wrote = pw || *write;
+                    }
+                    None => {
+                        chunk_map.insert((sid_array(&names, sid), elem), (iter, *write));
+                    }
+                }
+            }
+        }
+        chunk += 1;
+        i = end;
+    }
+    conflicts
+        .sort_unstable_by(|a, b| (a.chunk, &a.array, a.elem).cmp(&(b.chunk, &b.array, b.elem)));
+    conflicts.dedup();
+
+    // Measure each stream's lane progression from the replayed addresses.
+    let mut observed = Vec::with_capacity(streams.len());
+    for (a, write) in &streams {
+        let first_elem = a.at(0);
+        let mut lane_delta = None;
+        let mut consistent = true;
+        let mut i = 0u64;
+        while i < trip && consistent {
+            let end = (i + w).min(trip);
+            for iter in i + 1..end {
+                let d = a.at(iter) - a.at(iter - 1);
+                match lane_delta {
+                    None => lane_delta = Some(d),
+                    Some(prev) if prev != d => {
+                        consistent = false;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            i = end;
+        }
+        observed.push(ObservedLaneAccess {
+            array: a.array.clone(),
+            write: *write,
+            first_elem,
+            lane_delta: if consistent { lane_delta } else { None },
+            residue: first_elem.rem_euclid(w as i64),
+        });
+    }
+    LaneReplay {
+        width,
+        trip,
+        conflicts,
+        observed,
+    }
+}
+
+/// Canonical array key for the chunk map: index of the first stream naming
+/// this array, so streams over the same array share a key.
+fn sid_array(names: &[&str], sid: usize) -> usize {
+    let name = names[sid];
+    names.iter().position(|n| *n == name).unwrap_or(sid)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,5 +772,78 @@ mod tests {
         let acc = AccessSet::new(0).write("u", 0, 1);
         let log = replay_access_set(&acc, 4);
         assert!(log.clean());
+    }
+
+    /// An out-of-place stencil has no carried dependence at all: every
+    /// chunk's lanes touch distinct elements, any width.
+    #[test]
+    fn lanes_clean_on_out_of_place_stencil() {
+        let acc = AccessSet::stencil(64, "fields", 10_000, 0, 4, 8);
+        for width in [2u32, 4, 8] {
+            let r = replay_lanes(&acc, width);
+            assert!(r.lane_safe(), "width {width}: {:?}", r.conflicts);
+            assert!(r.unit_stride());
+        }
+    }
+
+    /// A distance-1 recurrence (write u[i], read u[i-1]) collides inside
+    /// every chunk at width ≥ 2 but is trivially safe at width 1.
+    #[test]
+    fn lanes_catch_distance_one_recurrence() {
+        let acc = AccessSet::new(64).write("u", 0, 1).read("u", -1, 1);
+        assert!(replay_lanes(&acc, 1).lane_safe());
+        for width in [2u32, 4, 8] {
+            let r = replay_lanes(&acc, width);
+            assert!(!r.lane_safe(), "width {width} must conflict");
+            let c = &r.conflicts[0];
+            assert_eq!(c.other_iter, c.write_iter + 1);
+            assert_eq!(c.write_iter / width as u64, c.other_iter / width as u64);
+        }
+    }
+
+    /// A distance-4 dependence is lane-safe at widths ≤ 4 and illegal at 8:
+    /// the dynamic tier resolves the exact legality threshold.
+    #[test]
+    fn lanes_resolve_distance_threshold() {
+        let acc = AccessSet::new(64).write("u", 0, 1).read("u", -4, 1);
+        assert!(replay_lanes(&acc, 2).lane_safe());
+        assert!(replay_lanes(&acc, 4).lane_safe());
+        assert!(!replay_lanes(&acc, 8).lane_safe());
+    }
+
+    /// Declared reductions replay lane-private: a stride-0 Sum cell is not
+    /// a lane conflict, but the same cell as a plain write is.
+    #[test]
+    fn lanes_exempt_declared_reductions() {
+        use crate::access::ReduceOp;
+        let reduced = AccessSet::new(64)
+            .read("u", 0, 1)
+            .reduce("qc", 0, ReduceOp::Sum);
+        assert!(replay_lanes(&reduced, 8).lane_safe());
+        let raced = AccessSet::new(64).read("u", 0, 1).write("qc", 0, 0);
+        assert!(!replay_lanes(&raced, 8).lane_safe());
+    }
+
+    /// Observed lane measurements come from replayed addresses: deltas,
+    /// base elements, and alignment residues.
+    #[test]
+    fn lanes_measure_stride_and_residue() {
+        let acc = AccessSet::new(64)
+            .write("u", 3, 1)
+            .read("u", -8, 1)
+            .read("r", 1, 7)
+            .read("c", 5, 0);
+        let r = replay_lanes(&acc, 8);
+        assert_eq!(r.observed.len(), 4);
+        let w = &r.observed[0];
+        assert!(w.write);
+        assert_eq!(w.first_elem, 3);
+        assert_eq!(w.lane_delta, Some(1));
+        assert_eq!(w.residue, 3);
+        assert_eq!(r.observed[1].residue, 0); // -8 mod 8
+        assert_eq!(r.observed[2].lane_delta, Some(7));
+        assert_eq!(r.observed[3].lane_delta, Some(0));
+        assert!(!r.unit_stride()); // the stride-7 stream
+        assert_eq!(r.write_residues(), vec![("u".to_string(), 3)]);
     }
 }

@@ -43,7 +43,7 @@ pub mod data;
 pub mod exec;
 pub mod runtime;
 
-pub use access::{AccessSet, AffineAccess};
+pub use access::{AccessSet, AffineAccess, ReduceOp, ReductionAccess};
 pub use compiler::{Compiler, KernelPlan, PgiVersion};
 pub use construct::{Clause, ConstructKind, LoopNest, LoopSched};
 pub use data::DataEnv;

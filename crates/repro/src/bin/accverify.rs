@@ -1,15 +1,26 @@
 //! Verify the directive programs of the twelve paper cases.
 //!
 //! ```text
-//! accverify [--all-cases] [--naive] [--deny warnings] [--json PATH]
+//! accverify [--vector] [--all-cases] [--naive] [--deny warnings] [--json PATH]
 //! ```
 //!
-//! Runs the `acc-verify` static tier over every case's modeling and RTM
-//! program at table scale, prints the lint report, optionally writes the
-//! machine-readable JSON report, and exits nonzero when any program has
-//! errors (or warnings, under `--deny warnings`). CI runs
-//! `accverify --all-cases --deny warnings` as the acceptance gate.
+//! Default mode runs the `acc-verify` static tier over every case's
+//! modeling and RTM program at table scale, prints the lint report,
+//! optionally writes the machine-readable JSON report, and exits nonzero
+//! when any program has errors (or warnings, under `--deny warnings`). CI
+//! runs `accverify --all-cases --deny warnings` as the acceptance gate.
+//!
+//! `--vector` switches to the vectorization-legality gate instead: every
+//! program must certify at least one innermost loop legal at width ≥ 2
+//! with the static certificates agreeing with the dynamic lane replay, and
+//! every seeded legality-breaking mutation (distance-1 carried dependence,
+//! misaligned store base, reduction rewritten into a running recurrence)
+//! must flip the verdict in both tiers. CI runs
+//! `accverify --vector --all-cases --deny warnings`; `--deny warnings` is
+//! accepted for symmetry (the vector gate is already strict — any
+//! disagreement or escaped mutation fails).
 
+use repro::vector::{certify_all_cases, mutation_gate, vector_gate, vector_json, vector_table};
 use repro::verify::{report_table, reports_json, verify_all_cases};
 use rtm_core::case::OptimizationConfig;
 
@@ -17,6 +28,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut deny_warnings = false;
     let mut naive = false;
+    let mut vector = false;
     let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -25,6 +37,7 @@ fn main() {
             // explicit spelling CI uses.
             "--all-cases" => {}
             "--naive" => naive = true,
+            "--vector" => vector = true,
             "--deny" if args.get(i + 1).map(String::as_str) == Some("warnings") => {
                 deny_warnings = true;
                 i += 1;
@@ -37,7 +50,8 @@ fn main() {
             other => {
                 eprintln!("accverify: unknown argument `{other}`");
                 eprintln!(
-                    "usage: accverify [--all-cases] [--naive] [--deny warnings] [--json PATH]"
+                    "usage: accverify [--vector] [--all-cases] [--naive] \
+                     [--deny warnings] [--json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -50,6 +64,38 @@ fn main() {
     } else {
         OptimizationConfig::default()
     };
+
+    if vector {
+        let reports = certify_all_cases(&config);
+        let mutations = mutation_gate(&config);
+        print!("{}", vector_table(&reports, &mutations));
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, vector_json(&reports, &mutations)) {
+                eprintln!("accverify: cannot write `{path}`: {e}");
+                std::process::exit(2);
+            }
+            println!("JSON report written to {path}");
+        }
+        if !vector_gate(&reports, &mutations) {
+            let uncertified = reports.iter().filter(|r| !r.passes()).count();
+            let escaped = mutations.iter().filter(|m| !m.caught()).count();
+            eprintln!(
+                "accverify: vector gate FAILED ({uncertified} of {} programs \
+                 uncertified, {escaped} of {} mutations escaped)",
+                reports.len(),
+                mutations.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "accverify: all {} programs certified, all {} seeded mutations \
+             caught by both tiers",
+            reports.len(),
+            mutations.len()
+        );
+        return;
+    }
+
     let reports = verify_all_cases(&config);
     print!("{}", report_table(&reports));
 

@@ -15,6 +15,8 @@
 //!   executor and checkpoint-restart recompute measurements,
 //! * [`verify`] — the `acc-verify` lint report over the twelve cases (the
 //!   `accverify` binary and CI gate),
+//! * [`vector`] — the vectorization-legality certificates over the twelve
+//!   cases plus the seeded mutation gate (`accverify --vector`),
 //! * [`accprof`] — the pseudo-profiler: one observed run of any case
 //!   emitting an nvprof-style summary, a `--metrics` counter table, a
 //!   Perfetto timeline, and a machine-readable report.
@@ -43,4 +45,5 @@ pub mod render;
 pub mod resilience;
 pub mod serve;
 pub mod table;
+pub mod vector;
 pub mod verify;

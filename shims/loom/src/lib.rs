@@ -1,0 +1,856 @@
+//! Offline build shim for `loom`: a bounded model checker for concurrent
+//! code exposing the `loom` API surface the workspace uses
+//! (`loom::model`, `loom::sync::{Mutex, Condvar}`,
+//! `loom::sync::atomic::*`, `loom::thread::{Builder, spawn, JoinHandle}`).
+//!
+//! ## How the checker works
+//!
+//! Real loom explores interleavings with DPOR over a user-space scheduler.
+//! This shim keeps the *checking model* but bounds the search differently:
+//! the body under test runs many times, each run under a **serialized
+//! scheduler** — exactly one modeled thread holds an execution token at
+//! any instant, and every synchronization operation (mutex lock/unlock,
+//! condvar wait/notify, atomic access, spawn/join, `yield_now`) is a
+//! *yield point* where the token may move to any runnable thread. The
+//! schedule at each yield point is driven by:
+//!
+//! 1. iteration 0 — **cooperative**: a thread runs until it blocks
+//!    (the "no preemption" schedule);
+//! 2. iteration 1 — **round-robin**: the token moves at every yield
+//!    point (maximal preemption);
+//! 3. iterations 2.. — **seeded pseudo-random** choices (SplitMix64),
+//!    deterministic per seed, so failures replay.
+//!
+//! Because modeled threads only interleave at yield points and at most
+//! one runs at a time, every data access is sequentially consistent and
+//! each run is a *real* interleaving of the declared synchronization
+//! events. The checker flags:
+//!
+//! * **deadlock / lost wakeup** — every live thread blocked (a condvar
+//!   waiter nobody will notify, a join cycle, a mutex cycle);
+//! * **assertion failures / panics** in any modeled thread, with the
+//!   schedule seed that produced them.
+//!
+//! The iteration count defaults to [`DEFAULT_ITERS`] and can be raised
+//! with the `LOOM_ITERS` env var. This is a bounded search, not a proof
+//! over all interleavings — the same caveat applies to real loom once
+//! its preemption bound kicks in.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Schedules explored per `model()` call when `LOOM_ITERS` is unset.
+pub const DEFAULT_ITERS: usize = 300;
+
+/// Process-global id source for mutexes/condvars (ids only need to be
+/// unique, not dense; HashMaps in the scheduler key off them).
+static SYNC_IDS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+fn fresh_sync_id() -> usize {
+    SYNC_IDS.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Sentinel panic payload used to unwind modeled threads once a schedule
+/// has already failed; never reported as a failure itself.
+struct Abort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Cooperative,
+    RoundRobin,
+    Random,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    /// Blocked acquiring the mutex with this id.
+    BlockedMutex(usize),
+    /// Parked in `Condvar::wait`.
+    BlockedCv,
+    /// Blocked in `JoinHandle::join` on this thread index.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Inner {
+    states: Vec<ThreadState>,
+    /// Thread index currently holding the execution token.
+    current: usize,
+    /// Modeled threads not yet finished.
+    live: usize,
+    mode: Mode,
+    rng: u64,
+    /// Mutex ids currently held.
+    locked: std::collections::HashSet<usize>,
+    /// Threads parked on a condvar: cv id → (thread, mutex to reacquire).
+    cv_waiters: HashMap<usize, Vec<(usize, usize)>>,
+    /// First failure observed this schedule (assertion, panic, deadlock).
+    failure: Option<String>,
+}
+
+struct Scheduler {
+    inner: StdMutex<Inner>,
+    /// Real condvar modeled threads park on while not holding the token.
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn with_sched<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let (sched, me) = ctx.expect("loom primitive used outside loom::model");
+    f(&sched, me)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    fn new(mode: Mode, seed: u64) -> Self {
+        Scheduler {
+            inner: StdMutex::new(Inner {
+                states: vec![ThreadState::Runnable],
+                current: 0,
+                live: 1,
+                mode,
+                rng: seed,
+                locked: Default::default(),
+                cv_waiters: HashMap::new(),
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Pick the next token holder among runnable threads. `None` when no
+    /// thread can run.
+    fn pick(inner: &mut Inner, from: usize, force_switch: bool) -> Option<usize> {
+        let runnable: Vec<usize> = (0..inner.states.len())
+            .filter(|&t| inner.states[t] == ThreadState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        let choice = match inner.mode {
+            Mode::Cooperative if !force_switch && runnable.contains(&from) => from,
+            Mode::Random => runnable[(splitmix(&mut inner.rng) as usize) % runnable.len()],
+            // Round-robin (and a cooperative thread that just blocked):
+            // first runnable index strictly after `from`, cyclically.
+            _ => *runnable.iter().find(|&&t| t > from).unwrap_or(&runnable[0]),
+        };
+        Some(choice)
+    }
+
+    /// A schedule already failed: unwind without reporting a second error.
+    fn abort_if_failed(&self, inner: &std::sync::MutexGuard<'_, Inner>) {
+        if inner.failure.is_some() {
+            panic::panic_any(Abort);
+        }
+    }
+
+    /// Yield point: optionally hand the token to another runnable thread,
+    /// then wait until it comes back.
+    fn yield_point(&self, me: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        self.abort_if_failed(&inner);
+        let next = Self::pick(&mut inner, me, false).expect("current thread is runnable");
+        if next != me {
+            inner.current = next;
+            self.cv.notify_all();
+            self.wait_for_token(inner, me);
+        }
+    }
+
+    /// Block the calling thread in `state` and hand the token elsewhere;
+    /// returns when the thread is runnable and scheduled again. Declaring
+    /// no runnable successor is the deadlock / lost-wakeup verdict.
+    fn block(&self, mut inner: std::sync::MutexGuard<'_, Inner>, me: usize, state: ThreadState) {
+        self.abort_if_failed(&inner);
+        inner.states[me] = state;
+        match Self::pick(&mut inner, me, true) {
+            Some(next) => {
+                inner.current = next;
+                self.cv.notify_all();
+                self.wait_for_token(inner, me);
+            }
+            None => {
+                let blocked: Vec<String> = inner
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, ThreadState::Finished))
+                    .map(|(t, s)| format!("thread {t}: {s:?}"))
+                    .collect();
+                inner.failure = Some(format!(
+                    "deadlock: every live thread is blocked (lost wakeup?) — {}",
+                    blocked.join(", ")
+                ));
+                self.cv.notify_all();
+                drop(inner);
+                panic::panic_any(Abort);
+            }
+        }
+    }
+
+    fn wait_for_token(&self, mut inner: std::sync::MutexGuard<'_, Inner>, me: usize) {
+        loop {
+            if inner.failure.is_some() {
+                drop(inner);
+                panic::panic_any(Abort);
+            }
+            if inner.current == me && inner.states[me] == ThreadState::Runnable {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Acquire mutex `id`, blocking (in the modeled sense) while held.
+    fn lock_mutex(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            let inner = self.inner.lock().unwrap();
+            self.abort_if_failed(&inner);
+            if !inner.locked.contains(&id) {
+                let mut inner = inner;
+                inner.locked.insert(id);
+                return;
+            }
+            self.block(inner, me, ThreadState::BlockedMutex(id));
+        }
+    }
+
+    fn try_lock_mutex(&self, me: usize, id: usize) -> bool {
+        self.yield_point(me);
+        let mut inner = self.inner.lock().unwrap();
+        self.abort_if_failed(&inner);
+        if inner.locked.contains(&id) {
+            false
+        } else {
+            inner.locked.insert(id);
+            true
+        }
+    }
+
+    /// Release mutex `id` and make its waiters runnable (they re-contend).
+    fn unlock_mutex(&self, me: usize, id: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        // During abort-unwinding, guards still drop: update state without
+        // scheduling (nobody is making progress anymore).
+        inner.locked.remove(&id);
+        for t in 0..inner.states.len() {
+            if inner.states[t] == ThreadState::BlockedMutex(id) {
+                inner.states[t] = ThreadState::Runnable;
+            }
+        }
+        if inner.failure.is_some() {
+            return;
+        }
+        drop(inner);
+        self.yield_point(me);
+    }
+
+    /// `Condvar::wait`: atomically release the mutex and park, then
+    /// reacquire after a notification.
+    fn cv_wait(&self, me: usize, cv_id: usize, mutex_id: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        self.abort_if_failed(&inner);
+        inner.locked.remove(&mutex_id);
+        for t in 0..inner.states.len() {
+            if inner.states[t] == ThreadState::BlockedMutex(mutex_id) {
+                inner.states[t] = ThreadState::Runnable;
+            }
+        }
+        inner
+            .cv_waiters
+            .entry(cv_id)
+            .or_default()
+            .push((me, mutex_id));
+        self.block(inner, me, ThreadState::BlockedCv);
+        // Notified and scheduled: reacquire the mutex.
+        loop {
+            let inner = self.inner.lock().unwrap();
+            self.abort_if_failed(&inner);
+            if !inner.locked.contains(&mutex_id) {
+                let mut inner = inner;
+                inner.locked.insert(mutex_id);
+                return;
+            }
+            self.block(inner, me, ThreadState::BlockedMutex(mutex_id));
+        }
+    }
+
+    fn notify(&self, me: usize, cv_id: usize, all: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.failure.is_some() {
+            return;
+        }
+        if let Some(waiters) = inner.cv_waiters.get_mut(&cv_id) {
+            let woken: Vec<(usize, usize)> = if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            };
+            for (t, _mutex) in woken {
+                // The waiter re-contends for its mutex in `cv_wait`; making
+                // it runnable is enough (it blocks again if the mutex is
+                // still held when it gets the token).
+                inner.states[t] = ThreadState::Runnable;
+            }
+        }
+        drop(inner);
+        self.yield_point(me);
+    }
+
+    /// Register a new modeled thread; returns its index.
+    fn register(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.states.push(ThreadState::Runnable);
+        inner.live += 1;
+        inner.states.len() - 1
+    }
+
+    /// A modeled thread finished (normally or by panic).
+    fn finish(&self, me: usize, failure: Option<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.states[me] = ThreadState::Finished;
+        inner.live -= 1;
+        if inner.failure.is_none() {
+            inner.failure = failure;
+        }
+        // Wake joiners.
+        for t in 0..inner.states.len() {
+            if inner.states[t] == ThreadState::BlockedJoin(me) {
+                inner.states[t] = ThreadState::Runnable;
+            }
+        }
+        if inner.failure.is_none() && inner.live > 0 {
+            match Self::pick(&mut inner, me, true) {
+                Some(next) => inner.current = next,
+                None => {
+                    inner.failure = Some(
+                        "deadlock: finishing thread leaves only blocked threads (lost wakeup?)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let inner = self.inner.lock().unwrap();
+            self.abort_if_failed(&inner);
+            if inner.states[target] == ThreadState::Finished {
+                return;
+            }
+            self.block(inner, me, ThreadState::BlockedJoin(target));
+        }
+    }
+}
+
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run a modeled thread body with the scheduler installed in TLS; reports
+/// the outcome to the scheduler and returns the body's result.
+fn run_modeled<T>(
+    sched: Arc<Scheduler>,
+    me: usize,
+    body: impl FnOnce() -> T,
+) -> std::thread::Result<T> {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), me)));
+    // Wait to be scheduled before executing a single user instruction.
+    if me != 0 {
+        let inner = sched.inner.lock().unwrap();
+        sched.wait_for_token(inner, me);
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    let failure = match &result {
+        Ok(_) => None,
+        Err(p) if p.is::<Abort>() => None,
+        Err(p) => Some(format!("thread {me} panicked: {}", payload_msg(&**p))),
+    };
+    sched.finish(me, failure);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    result
+}
+
+fn iterations() -> usize {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+/// Check `body` under bounded schedule exploration: one cooperative
+/// schedule, one round-robin schedule, and `LOOM_ITERS − 2` seeded random
+/// schedules. Panics with the failing seed on the first schedule that
+/// deadlocks or panics.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let body = Arc::new(body);
+    let iters = iterations().max(3);
+    for iter in 0..iters {
+        let (mode, seed) = match iter {
+            0 => (Mode::Cooperative, 0),
+            1 => (Mode::RoundRobin, 0),
+            n => (Mode::Random, n as u64),
+        };
+        let sched = Arc::new(Scheduler::new(mode, seed));
+        let b = Arc::clone(&body);
+        let s = Arc::clone(&sched);
+        let main = std::thread::Builder::new()
+            .name(format!("loom-main-{iter}"))
+            .spawn(move || {
+                let _ = run_modeled(s, 0, move || b());
+            })
+            .expect("spawn loom main thread");
+        // Wait for every modeled thread (including detached spawns) to
+        // retire before judging the schedule.
+        {
+            let mut inner = sched.inner.lock().unwrap();
+            while inner.live > 0 {
+                inner = sched.cv.wait(inner).unwrap();
+            }
+        }
+        main.join().expect("loom main thread runner");
+        let failure = sched.inner.lock().unwrap().failure.take();
+        if let Some(msg) = failure {
+            panic!("loom: schedule {iter} ({mode:?}, seed {seed}) failed: {msg}");
+        }
+    }
+}
+
+/// Model-checked synchronization primitives (`loom::sync`).
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use super::{fresh_sync_id, with_sched};
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Error type for the poison-aware `lock()` signature (`std` parity);
+    /// this checker never poisons, so it is never constructed.
+    #[derive(Debug)]
+    pub struct PoisonError;
+
+    /// `try_lock` failure: the lock is held by another modeled thread.
+    #[derive(Debug)]
+    pub struct WouldBlock;
+
+    /// Result alias matching `std::sync::LockResult`'s call shape.
+    pub type LockResult<G> = Result<G, PoisonError>;
+
+    /// Model-checked mutex: mutual exclusion is enforced through the
+    /// serialized scheduler, and lock/unlock are yield points.
+    pub struct Mutex<T: ?Sized> {
+        id: usize,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: access to `data` is serialized by the scheduler token plus
+    // the modeled lock state — at most one modeled thread holds the lock,
+    // and at most one modeled thread executes at any instant.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Wrap a value.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                id: fresh_sync_id(),
+                data: UnsafeCell::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock, blocking (in the modeled schedule) while held.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            with_sched(|s, me| s.lock_mutex(me, self.id));
+            Ok(MutexGuard { mutex: self })
+        }
+
+        /// Acquire the lock only if it is free right now.
+        pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, WouldBlock> {
+            if with_sched(|s, me| s.try_lock_mutex(me, self.id)) {
+                Ok(MutexGuard { mutex: self })
+            } else {
+                Err(WouldBlock)
+            }
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releasing it is a yield point.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        mutex: &'a Mutex<T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: guard existence proves this modeled thread holds the
+            // lock; execution is serialized.
+            unsafe { &*self.mutex.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as above.
+            unsafe { &mut *self.mutex.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            with_sched(|s, me| s.unlock_mutex(me, self.mutex.id));
+        }
+    }
+
+    /// Model-checked condition variable; `wait` parks the modeled thread
+    /// until a notify, and a waiter nobody notifies is a detected lost
+    /// wakeup (deadlock) rather than a hang.
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        /// New condvar.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Condvar {
+                id: fresh_sync_id(),
+            }
+        }
+
+        /// Release the guard's mutex, park until notified, reacquire.
+        pub fn wait<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> LockResult<MutexGuard<'a, T>> {
+            let mutex = guard.mutex;
+            std::mem::forget(guard); // the scheduler releases the lock state
+            with_sched(|s, me| s.cv_wait(me, self.id, mutex.id));
+            Ok(MutexGuard { mutex })
+        }
+
+        /// Wake one parked waiter.
+        pub fn notify_one(&self) {
+            with_sched(|s, me| s.notify(me, self.id, false));
+        }
+
+        /// Wake every parked waiter.
+        pub fn notify_all(&self) {
+            with_sched(|s, me| s.notify(me, self.id, true));
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Model-checked atomics: plain sequential data under the serialized
+    /// scheduler, with a yield point before every operation so schedules
+    /// interleave at each access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::with_sched;
+
+        /// Model-checked `AtomicUsize`.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Wrap a value.
+            pub fn new(v: usize) -> Self {
+                Self(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            /// Atomic load (yield point).
+            pub fn load(&self, order: Ordering) -> usize {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.load(order)
+            }
+
+            /// Atomic store (yield point).
+            pub fn store(&self, v: usize, order: Ordering) {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.store(v, order)
+            }
+
+            /// Atomic add returning the previous value (yield point).
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.fetch_add(v, order)
+            }
+
+            /// Atomic subtract returning the previous value (yield point).
+            pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.fetch_sub(v, order)
+            }
+
+            /// Compare-exchange (yield point).
+            pub fn compare_exchange(
+                &self,
+                cur: usize,
+                new: usize,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<usize, usize> {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.compare_exchange(cur, new, ok, err)
+            }
+        }
+
+        /// Model-checked `AtomicU64`.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            /// Wrap a value.
+            pub fn new(v: u64) -> Self {
+                Self(std::sync::atomic::AtomicU64::new(v))
+            }
+
+            /// Atomic load (yield point).
+            pub fn load(&self, order: Ordering) -> u64 {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.load(order)
+            }
+
+            /// Atomic store (yield point).
+            pub fn store(&self, v: u64, order: Ordering) {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.store(v, order)
+            }
+
+            /// Atomic add returning the previous value (yield point).
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        /// Model-checked `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Wrap a value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load (yield point).
+            pub fn load(&self, order: Ordering) -> bool {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.load(order)
+            }
+
+            /// Atomic store (yield point).
+            pub fn store(&self, v: bool, order: Ordering) {
+                with_sched(|s, me| s.yield_point(me));
+                self.0.store(v, order)
+            }
+        }
+    }
+}
+
+/// Model-checked threading (`loom::thread`).
+pub mod thread {
+    use super::{run_modeled, with_sched};
+    use std::sync::Arc;
+
+    /// Handle to a modeled thread; joining is a modeled blocking op.
+    pub struct JoinHandle<T> {
+        index: usize,
+        real: std::thread::JoinHandle<std::thread::Result<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait (in the modeled schedule) for the thread to finish and
+        /// return its result; `Err` carries a panic payload, as in `std`.
+        pub fn join(self) -> std::thread::Result<T> {
+            with_sched(|s, me| s.join_wait(me, self.index));
+            // The modeled thread has retired; the OS join is immediate.
+            self.real.join().expect("loom thread runner")
+        }
+    }
+
+    /// Spawn a modeled thread (a yield point for the parent).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("loom spawn")
+    }
+
+    /// Builder mirroring `std::thread::Builder` (name is kept for
+    /// diagnostics only).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// New builder.
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        /// Name the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawn a modeled thread.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let (sched, index) = with_sched(|s, _| (Arc::clone(s), s.register()));
+            let real = std::thread::Builder::new()
+                .name(self.name.unwrap_or_else(|| format!("loom-{index}")))
+                .spawn(move || run_modeled(sched, index, f))?;
+            Ok(JoinHandle { index, real })
+        }
+    }
+
+    /// Voluntary yield point.
+    pub fn yield_now() {
+        with_sched(|s, me| s.yield_point(me));
+    }
+}
+
+/// `loom::hint` — spin hints are yield points under the model.
+pub mod hint {
+    /// Spin hint: under the serialized scheduler, spinning must hand the
+    /// token over or no other thread can ever run.
+    pub fn spin_loop() {
+        super::with_sched(|s, me| s.yield_point(me));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::thread;
+
+    #[test]
+    fn counter_over_mutex_is_exact() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        for _ in 0..3 {
+                            *n.lock().unwrap() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 6);
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_terminates() {
+        super::model(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*s2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            let (m, cv) = &*state;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_is_detected() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let state = Arc::new((Mutex::new(false), Condvar::new()));
+                let s2 = Arc::clone(&state);
+                // Waiter with no one to notify: must be reported as a
+                // deadlock, not a hang.
+                let t = thread::spawn(move || {
+                    let (m, cv) = &*s2;
+                    let mut ready = m.lock().unwrap();
+                    while !*ready {
+                        ready = cv.wait(ready).unwrap();
+                    }
+                });
+                t.join().unwrap();
+            });
+        });
+        let err = result.expect_err("deadlock must be flagged");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn atomic_interleavings_race_free_sum() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let a = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+}

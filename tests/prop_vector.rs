@@ -1,0 +1,196 @@
+//! Property tests of the vectorization-legality verifier.
+//!
+//! Two families of properties over randomized workloads:
+//!
+//! * **Verdict stability** — the legality verdict, stride class, and tier
+//!   agreement of every kernel are intrinsic to the directive program, not
+//!   to the grid it happens to run on: re-certifying any of the twelve
+//!   cases at a random workload must reproduce the reference verdicts
+//!   kernel for kernel, keep at least one loop certified legal, and keep
+//!   both tiers in agreement.
+//! * **Mutation catching** — each legality-breaking mutation class
+//!   (distance-1 carried dependence, misaligned store base, reduction
+//!   rewritten into a running recurrence), seeded into a *random* eligible
+//!   launch of a *random* case, must flip the verdict in both the static
+//!   certificate and the dynamic lane replay.
+
+use acc_verify::vectorize::{certify_launch, certify_program, lane_crosscheck};
+use acc_verify::{LaneCrossCheck, Op, VerifyContext};
+use openacc_sim::{Compiler, PgiVersion};
+use proptest::prelude::*;
+use rtm_core::case::{Cluster, OptimizationConfig, SeismicCase, Workload};
+use rtm_core::verify::{
+    break_reduction_recurrence, break_vector_distance1, case_programs, misalign_base,
+    reduction_launches, vector_breakable_launches,
+};
+
+const PGI: Compiler = Compiler::Pgi(PgiVersion::V14_6);
+
+fn ctx() -> VerifyContext {
+    VerifyContext {
+        compiler: PGI,
+        device: Cluster::CrayXc30.device(),
+    }
+}
+
+/// A randomized-but-valid workload: grids big enough that every innermost
+/// trip count covers the widest probe width, small enough to stay instant.
+fn workload(nx: usize, nz: usize, steps: usize, n_receivers: usize) -> Workload {
+    Workload {
+        nx,
+        ny: 1,
+        nz,
+        steps,
+        snap_period: steps.div_ceil(2).max(1),
+        n_receivers,
+    }
+}
+
+/// The per-kernel verdict fingerprint stability compares across workloads.
+fn fingerprint(
+    prog_certs: &[acc_verify::VectorCertificate],
+) -> Vec<(String, &'static str, &'static str)> {
+    let mut fp: Vec<_> = prog_certs
+        .iter()
+        .map(|c| (c.kernel.clone(), c.legality.label(), c.stride_class.label()))
+        .collect();
+    fp.sort();
+    fp.dedup();
+    fp
+}
+
+fn lane_safe(cc: &LaneCrossCheck) -> bool {
+    cc.per_width.iter().all(|w| w.dynamic_safe)
+}
+
+proptest! {
+    /// Certificates are workload-invariant: for a random case and a random
+    /// grid, the (kernel, legality, stride) fingerprint matches the one at
+    /// the reference grid; every program keeps at least one certified-legal
+    /// loop and the tiers keep agreeing.
+    #[test]
+    fn verdicts_stable_across_seeds(
+        case_idx in 0usize..6,
+        nx in 64usize..512,
+        nz in 64usize..512,
+        steps in 2usize..8,
+        n_receivers in 1usize..6,
+    ) {
+        let case = SeismicCase::all()[case_idx];
+        let cfg = OptimizationConfig::default();
+        let reference = workload(128, 128, 4, 2);
+        let random = workload(nx, nz, steps, n_receivers);
+        let ref_progs = case_programs(&case, &cfg, PGI, &reference);
+        let rnd_progs = case_programs(&case, &cfg, PGI, &random);
+        for (rp, np) in ref_progs.iter().zip(rnd_progs.iter()) {
+            let ref_certs = certify_program(rp, &ctx());
+            let rnd_certs = certify_program(np, &ctx());
+            prop_assert_eq!(
+                fingerprint(&ref_certs),
+                fingerprint(&rnd_certs),
+                "{}: verdicts moved with the workload",
+                np.name
+            );
+            prop_assert!(
+                rnd_certs.iter().any(|c| c.certified_legal()),
+                "{}: no certified loop at nx={nx} nz={nz}",
+                np.name
+            );
+            for (i, l) in np.launches() {
+                let cc = lane_crosscheck(l);
+                prop_assert!(cc.agree(), "{} op {i}: tiers disagree: {cc:?}", np.name);
+            }
+        }
+    }
+
+    /// A distance-1 carried dependence seeded into any eligible launch of
+    /// any case flips both tiers: the certificate goes `Illegal` at scalar
+    /// width with the distance witnessed, and the lane replay observes
+    /// intra-chunk conflicts at every probed width.
+    #[test]
+    fn distance1_caught_everywhere(
+        case_idx in 0usize..6,
+        prog_idx in 0usize..2,
+        pick in any::<u32>(),
+        nx in 64usize..256,
+    ) {
+        let case = SeismicCase::all()[case_idx];
+        let cfg = OptimizationConfig::default();
+        let w = workload(nx, 96, 3, 2);
+        let clean = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let mut broken = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let eligible = vector_breakable_launches(&clean);
+        prop_assert!(eligible > 0, "{}: no eligible launch", clean.name);
+        let nth = pick as usize % eligible;
+        let op = break_vector_distance1(&mut broken, nth).expect("counted eligible");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op])
+        else { panic!("mutated op must be a launch") };
+        let c1 = certify_launch(op, after, &ctx());
+        prop_assert!(!c1.legality.is_legal(), "{}: {c1:?}", broken.name);
+        prop_assert_eq!(c1.width, 1);
+        prop_assert_eq!(c1.min_distance, Some(1));
+        prop_assert!(lane_safe(&lane_crosscheck(before)));
+        let l1 = lane_crosscheck(after);
+        prop_assert!(l1.per_width.iter().all(|wc| !wc.dynamic_safe), "{l1:?}");
+        prop_assert!(l1.agree(), "tiers must agree on the broken loop: {l1:?}");
+    }
+
+    /// A one-element base shift seeded into any eligible launch flips the
+    /// alignment residue from 0 to 1 in the certificate while the replayed
+    /// lane-0 addresses keep agreeing — alignment is observable, not
+    /// legality-breaking.
+    #[test]
+    fn misalignment_caught_everywhere(
+        case_idx in 0usize..6,
+        prog_idx in 0usize..2,
+        pick in any::<u32>(),
+    ) {
+        let case = SeismicCase::all()[case_idx];
+        let cfg = OptimizationConfig::default();
+        let w = workload(96, 96, 3, 2);
+        let clean = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let mut broken = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let eligible = vector_breakable_launches(&clean);
+        prop_assert!(eligible > 0);
+        let nth = pick as usize % eligible;
+        let op = misalign_base(&mut broken, nth).expect("counted eligible");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op])
+        else { panic!("mutated op must be a launch") };
+        let c0 = certify_launch(op, before, &ctx());
+        let c1 = certify_launch(op, after, &ctx());
+        prop_assert_eq!(c0.align_residue, 0, "bases start aligned");
+        prop_assert_eq!(c1.align_residue, 1, "shift must be visible");
+        prop_assert_eq!(c0.legality.is_legal(), c1.legality.is_legal());
+        let l1 = lane_crosscheck(after);
+        prop_assert!(l1.residue_agrees, "replay must see the same residue: {l1:?}");
+    }
+
+    /// Rewriting any declared reduction into a running recurrence flips
+    /// both tiers from the ULP-bounded verdict to an illegal distance-1
+    /// dependence.
+    #[test]
+    fn reduction_recurrence_caught_everywhere(
+        case_idx in 0usize..6,
+        prog_idx in 0usize..2,
+        pick in any::<u32>(),
+    ) {
+        let case = SeismicCase::all()[case_idx];
+        let cfg = OptimizationConfig::default();
+        let w = workload(96, 96, 3, 2);
+        let clean = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let mut broken = case_programs(&case, &cfg, PGI, &w).swap_remove(prog_idx);
+        let eligible = reduction_launches(&clean);
+        prop_assert!(eligible > 0, "{}: QC kernels guarantee reductions", clean.name);
+        let nth = pick as usize % eligible;
+        let op = break_reduction_recurrence(&mut broken, nth).expect("counted eligible");
+        let (Op::Launch(before), Op::Launch(after)) = (&clean.ops[op], &broken.ops[op])
+        else { panic!("mutated op must be a launch") };
+        let c0 = certify_launch(op, before, &ctx());
+        let c1 = certify_launch(op, after, &ctx());
+        prop_assert!(c0.ulp_bound > 0, "clean verdict is ULP-bounded: {c0:?}");
+        prop_assert!(!c1.legality.is_legal(), "{c1:?}");
+        prop_assert_eq!(c1.min_distance, Some(1));
+        prop_assert!(lane_safe(&lane_crosscheck(before)));
+        prop_assert!(!lane_safe(&lane_crosscheck(after)));
+    }
+}
