@@ -23,15 +23,22 @@
 //! * **Registry** ([`registry`]) — named counters, gauges, and
 //!   log-bucketed histograms (kernels launched, bytes by direction, halo
 //!   bytes, retries, checkpoint traffic) serializable to JSON.
+//! * **Wall-clock bridge** ([`wallclock`]) — ingests the host engine's
+//!   real-time profile (`exec_host::prof`) as `wall worker N` tracks in
+//!   the *same* trace (distinct clock domain, explicitly labeled), plus
+//!   derived gang metrics: utilization, barrier-wait fraction, slab
+//!   imbalance, tiles/s per worker.
 
 pub mod metrics;
 pub mod registry;
 pub mod session;
 pub mod span;
 pub mod tracer;
+pub mod wallclock;
 
 pub use metrics::{BoundKind, KernelMetrics, MetricsTable};
 pub use registry::{Histogram, Registry};
 pub use session::ObsSession;
 pub use span::{Span, SpanCat, Track};
 pub use tracer::Tracer;
+pub use wallclock::{HostReport, WorkerStat};

@@ -53,6 +53,50 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Merge another histogram into this one (bucket-wise). Associative
+    /// and commutative, so per-worker histograms can be combined in any
+    /// order — the property the merge tests pin down.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by geometric
+    /// interpolation inside the log bucket holding the target rank.
+    /// Returns `None` on an empty histogram; observations in the overflow
+    /// bucket resolve to its lower bound (the estimate is a floor there).
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if below + c >= target && c > 0 {
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return Some(Self::bound(HISTOGRAM_BUCKETS - 2));
+                }
+                let hi = Self::bound(i);
+                // Bucket 0 spans (0, 1e-9]; treat it as one decade wide so
+                // interpolation stays geometric everywhere.
+                let lo = if i == 0 {
+                    hi / 10.0
+                } else {
+                    Self::bound(i - 1)
+                };
+                let frac = (target - below) as f64 / c as f64;
+                // powf rounding can land an ULP outside the bucket.
+                return Some((lo * (hi / lo).powf(frac)).clamp(lo, hi));
+            }
+            below += c;
+        }
+        None
+    }
+
     /// The histogram as a JSON object.
     pub fn to_json(&self) -> serde_json::Value {
         let mut o = serde_json::Map::new();
@@ -132,6 +176,16 @@ impl Registry {
         self.histograms.lock().get(name).cloned()
     }
 
+    /// Merge a pre-aggregated histogram into `name` (creating it empty) —
+    /// how per-worker wall-clock histograms land in a shared registry.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// The whole registry as one JSON object
     /// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`).
     pub fn to_json(&self) -> serde_json::Value {
@@ -184,6 +238,131 @@ mod tests {
         assert_eq!(h.buckets[9], 1);
         assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
         assert!((h.sum - (5e-10 + 5e-9 + 1.0 + 1e30)).abs() < 1e18);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[f64]| {
+            let mut h = Histogram::default();
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        };
+        let a = mk(&[1e-8, 3e-6, 0.5]);
+        let b = mk(&[2e-9, 7.0, 1e25]);
+        let c = mk(&[4e-4, 4e-4, 9e-2]);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Totals add up, and merged buckets match observing everything
+        // into one histogram directly.
+        assert_eq!(left.count, 9);
+        let direct = mk(&[1e-8, 3e-6, 0.5, 2e-9, 7.0, 1e25, 4e-4, 4e-4, 9e-2]);
+        assert_eq!(left.buckets, direct.buckets);
+        // Merging an empty histogram is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::default());
+        assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn percentiles_on_known_distributions() {
+        // 100 observations in bucket 5 (≤1e-4), 0 elsewhere: every
+        // percentile lands inside (1e-5, 1e-4].
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(5e-5);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let p = h.percentile(q).unwrap();
+            assert!(
+                (1e-5..=1e-4).contains(&p),
+                "q={q} → {p} outside bucket bounds"
+            );
+        }
+        // Percentiles are monotone in q.
+        assert!(h.percentile(0.5).unwrap() <= h.percentile(0.95).unwrap());
+        assert!(h.percentile(0.95).unwrap() <= h.percentile(0.99).unwrap());
+
+        // 90 fast + 10 slow observations: p50 is in the fast decade, p95
+        // and p99 in the slow one — the shape a barrier-wait tail has.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(5e-6); // bucket 4: (1e-6, 1e-5]
+        }
+        for _ in 0..10 {
+            h.observe(5e-3); // bucket 7: (1e-3, 1e-2]
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((1e-6..=1e-5).contains(&p50), "p50={p50}");
+        assert!((1e-3..=1e-2).contains(&p95), "p95={p95}");
+        assert!((1e-3..=1e-2).contains(&p99), "p99={p99}");
+        assert!(p95 <= p99);
+        // Extremes stay in range.
+        assert!((1e-6..=1e-5).contains(&h.percentile(0.0).unwrap()));
+        assert!((1e-3..=1e-2).contains(&h.percentile(1.0).unwrap()));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty → None, for any q.
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
+        // Single observation: every percentile is in its bucket (bounds
+        // compared with an ULP-tolerant margin — they are computed as
+        // 1e-9·10^i, not literals).
+        let mut h = Histogram::default();
+        h.observe(3e-7); // bucket 3: (1e-7, 1e-6]
+        for q in [0.0, 0.5, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert!(
+                (0.999e-7..=1.001e-6).contains(&p),
+                "q={q} → {p} outside bucket"
+            );
+        }
+        // Out-of-range q clamps rather than panicking.
+        assert!(h.percentile(-0.3).is_some());
+        assert!(h.percentile(7.0).is_some());
+        // Overflow-bucket observations resolve to the last finite bound.
+        let mut h = Histogram::default();
+        h.observe(1e30);
+        let p = h.percentile(0.99).unwrap();
+        assert_eq!(p, Histogram::bound(HISTOGRAM_BUCKETS - 2));
+        // Bucket 0 (≤1e-9) interpolates below the first bound, above zero.
+        let mut h = Histogram::default();
+        h.observe(1e-12);
+        let p = h.percentile(0.5).unwrap();
+        assert!(p > 0.0 && p <= 1e-9, "{p}");
+    }
+
+    #[test]
+    fn registry_merges_histograms() {
+        let r = Registry::new();
+        let mut h = Histogram::default();
+        h.observe(2e-3);
+        h.observe(4e-3);
+        r.merge_histogram("host_slab_s", &h);
+        r.merge_histogram("host_slab_s", &h);
+        let got = r.histogram("host_slab_s").unwrap();
+        assert_eq!(got.count, 4);
+        assert!((got.sum - 12e-3).abs() < 1e-12);
     }
 
     #[test]

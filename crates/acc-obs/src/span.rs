@@ -17,6 +17,12 @@ pub enum Track {
     /// One fleet device of the job server (`acc-serve`): shot execution,
     /// backoff sleeps, and circuit-breaker transitions.
     Service(u32),
+    /// One wall-clock host-engine thread slot (`exec-host::prof`). Unlike
+    /// every other track, timestamps here are **real elapsed seconds**
+    /// since the profiler epoch, not simulated time — the label and the
+    /// `clock=wall` span arg mark the clock domain when both kinds share
+    /// one trace.
+    WallWorker(u32),
 }
 
 impl Track {
@@ -27,6 +33,7 @@ impl Track {
             Track::DeviceStream(s) => format!("stream {s}"),
             Track::MpiRank(r) => format!("rank {r}"),
             Track::Service(d) => format!("serve dev {d}"),
+            Track::WallWorker(w) => format!("wall worker {w}"),
         }
     }
 }
@@ -55,6 +62,14 @@ pub enum SpanCat {
     Resilience,
     /// Job-server event (shot dispatch, shed, breaker transition).
     Service,
+    /// Wall-clock gang launch (`par_slabs` end to end) on the host engine.
+    Sweep,
+    /// Wall-clock slab execution by one gang on the host engine.
+    Slab,
+    /// Wall-clock fork-join barrier wait on the host engine.
+    Barrier,
+    /// Wall-clock worker wake latency (job publish → pickup).
+    Wake,
 }
 
 impl SpanCat {
@@ -71,6 +86,10 @@ impl SpanCat {
             SpanCat::Checkpoint => "checkpoint",
             SpanCat::Resilience => "resilience",
             SpanCat::Service => "service",
+            SpanCat::Sweep => "sweep",
+            SpanCat::Slab => "slab",
+            SpanCat::Barrier => "barrier",
+            SpanCat::Wake => "wake",
         }
     }
 }
@@ -143,6 +162,7 @@ mod tests {
         assert_eq!(Track::DeviceStream(3).label(), "stream 3");
         assert_eq!(Track::MpiRank(7).label(), "rank 7");
         assert_eq!(Track::Service(2).label(), "serve dev 2");
+        assert_eq!(Track::WallWorker(5).label(), "wall worker 5");
     }
 
     #[test]

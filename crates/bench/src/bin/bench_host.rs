@@ -6,18 +6,30 @@
 //! are asserted bit-identical before any number is reported — a speedup
 //! that changes the physics is a bug, not a result.
 //!
+//! After the gated samples, each case also runs once as full RTM (pooled,
+//! max gangs) with the wall-clock profiler on: the per-phase
+//! forward/backward/imaging breakdown and the derived gang metrics land
+//! in a `phases` section of the JSON. The regression gate reads only
+//! `results[]` — the phase columns are informational and never gate.
+//!
 //! ```text
-//! bench_host [--quick] [--out PATH] [--check BASELINE.json]
+//! bench_host [--quick] [--out PATH] [--check BASELINE.json] [--overhead]
 //! ```
 //!
-//! * `--quick`   — smaller grids / fewer repetitions (the CI smoke mode)
-//! * `--out`     — where to write the JSON (default `BENCH_host.json`)
-//! * `--check`   — compare pooled grid-points/sec against a baseline JSON
+//! * `--quick`    — smaller grids / fewer repetitions (the CI smoke mode)
+//! * `--out`      — where to write the JSON (default `BENCH_host.json`)
+//! * `--check`    — compare pooled grid-points/sec against a baseline JSON
 //!   and exit non-zero if any case regressed by more than 20%
+//! * `--overhead` — profiler overhead budget check instead of the
+//!   benchmark: interleaved profiler-off/profiler-on runs, exit non-zero
+//!   if the enabled path costs more than 5% or the disabled path's
+//!   per-call cost projects to more than 1% of the run
 
 use openacc_sim::exec::{set_engine, Engine};
 use rtm_core::modeling::{run_modeling, Medium2};
 use rtm_core::modeling3::{run_modeling3, Medium3};
+use rtm_core::rtm::run_rtm;
+use rtm_core::rtm3::run_rtm3;
 use rtm_core::OptimizationConfig;
 use seismic_grid::cfl::stable_dt;
 use seismic_model::builder::{acoustic2_layered, iso2_constant, iso3_layered, standard_layers};
@@ -126,9 +138,140 @@ fn bench_case(
     }
 }
 
+/// One profiled RTM run of a case (pooled engine), returning the
+/// wall-clock phase/gang report as a JSON object for the `phases`
+/// section.
+fn profiled_phases(case: &'static str, gangs: usize, run: impl FnOnce(usize)) -> serde_json::Value {
+    set_engine(Engine::Pooled);
+    exec_host::prof::set_enabled(true);
+    let _ = exec_host::prof::drain();
+    let t0 = Instant::now();
+    run(gangs);
+    let wall = t0.elapsed().as_secs_f64();
+    let profile = exec_host::prof::drain();
+    exec_host::prof::set_enabled(false);
+    let rep = acc_obs::wallclock::report(&profile);
+    eprintln!(
+        "{case:>12}  gangs={gangs}  phases fwd={:.4}s bwd={:.4}s img={:.4}s  util={:.2}",
+        rep.phases_s[0],
+        rep.phases_s[1] - rep.phases_s[2],
+        rep.phases_s[2],
+        rep.utilization
+    );
+    let mut m = serde_json::Map::new();
+    m.insert("case", case);
+    m.insert("gangs", gangs);
+    m.insert("engine", "pooled");
+    m.insert("clock", "wall");
+    m.insert("wall_s", wall);
+    m.insert("forward_s", rep.phases_s[0]);
+    // Imaging nests inside backward; report backward exclusive.
+    m.insert("backward_s", (rep.phases_s[1] - rep.phases_s[2]).max(0.0));
+    m.insert("imaging_s", rep.phases_s[2]);
+    m.insert("utilization", rep.utilization);
+    m.insert("barrier_wait_frac", rep.barrier_wait_frac);
+    m.insert("imbalance", rep.imbalance);
+    serde_json::Value::Object(m)
+}
+
+/// `--overhead`: enforce the profiler's runtime budget.
+///
+/// Two bounds, both on the same pooled iso2d modeling run:
+///
+/// * **enabled ≤ 5%** — interleaved profiler-off / profiler-on reps
+///   (min-of-N each, interleaving cancels thermal/scheduler drift); the
+///   enabled minimum must stay within 5% of the disabled minimum plus a
+///   small absolute slack for timer noise on sub-100ms runs.
+/// * **disabled ≤ 1%** — the disabled fast path is one relaxed atomic
+///   load per call site; its per-call cost is measured directly with a
+///   hot microloop, projected onto the call count the enabled run
+///   actually recorded, and that projection must be under 1% of the
+///   disabled runtime.
+fn overhead_check(quick: bool) -> ! {
+    let n = if quick { 64 } else { 96 };
+    let steps = if quick { 40 } else { 80 };
+    let reps = if quick { 5 } else { 9 };
+    let gangs = 4;
+    let cfg = OptimizationConfig::default();
+    let w = Wavelet::ricker(22.0);
+    let medium = iso2d_medium(n);
+    let acq = Acquisition2::surface_line(n, n / 2, n / 2, 2, 6);
+    set_engine(Engine::Pooled);
+    let run = || {
+        let s = run_modeling(&medium, &acq, &w, &cfg, steps, steps, gangs).seismogram;
+        assert!(s.nt() > 0);
+    };
+
+    // Warm-up: pool spin-up and first-touch of the model fields.
+    run();
+
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    let mut events: u64 = 0;
+    for _ in 0..reps {
+        exec_host::prof::set_enabled(false);
+        let t0 = Instant::now();
+        run();
+        off = off.min(t0.elapsed().as_secs_f64());
+
+        exec_host::prof::set_enabled(true);
+        let _ = exec_host::prof::drain();
+        let t0 = Instant::now();
+        run();
+        on = on.min(t0.elapsed().as_secs_f64());
+        let p = exec_host::prof::drain();
+        let recorded: u64 = p.slots.iter().map(|s| s.events.len() as u64).sum();
+        events = events.max(recorded + p.dropped);
+    }
+    exec_host::prof::set_enabled(false);
+
+    // Disabled fast path: per-call cost of begin() when the profiler is
+    // off, measured hot.
+    let calls = 2_000_000u64;
+    let t0 = Instant::now();
+    let mut none_count = 0u64;
+    for _ in 0..calls {
+        if exec_host::prof::begin().is_none() {
+            none_count += 1;
+        }
+    }
+    let per_call_s = t0.elapsed().as_secs_f64() / calls as f64;
+    assert_eq!(none_count, calls, "profiler must be off");
+
+    // Each recorded event is one begin/end pair at a call site.
+    let disabled_projection_s = 2.0 * events as f64 * per_call_s;
+    let disabled_frac = disabled_projection_s / off;
+    let enabled_frac = on / off - 1.0;
+    // 5 ms absolute slack: quick-mode runs are tens of ms and a single
+    // scheduler preemption would otherwise fail a healthy build.
+    let enabled_ok = on <= off * 1.05 + 0.005;
+    let disabled_ok = disabled_frac <= 0.01;
+
+    eprintln!("profiler overhead budget (iso2d, {gangs} gangs, {steps} steps, min of {reps}):");
+    eprintln!(
+        "  disabled run: {off:.4}s   enabled run: {on:.4}s   ({:+.2}% vs budget +5%)",
+        enabled_frac * 100.0
+    );
+    eprintln!(
+        "  disabled fast path: {:.1} ns/call x {events} events x 2 = {:.6}s ({:.3}% of run, budget 1%)",
+        per_call_s * 1e9,
+        disabled_projection_s,
+        disabled_frac * 100.0
+    );
+    if !enabled_ok || !disabled_ok {
+        eprintln!("PROFILER OVERHEAD BUDGET EXCEEDED");
+        std::process::exit(1);
+    }
+    eprintln!("overhead budget: ok");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--overhead") {
+        overhead_check(quick);
+    }
     let arg_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -200,6 +343,37 @@ fn main() {
     let speedup = headline_scoped / headline_pooled;
     eprintln!("\niso3d @ 8 gangs: pooled is {speedup:.2}x the scoped engine");
 
+    // Per-phase wall-time breakdown: one profiled full-RTM run per case
+    // on the pooled engine at the largest gang count. Informational only
+    // — the `--check` gate never reads this section.
+    let top_gangs = *gangs_list.last().expect("gangs list non-empty");
+    let snap = 5usize;
+    let mut phases: Vec<serde_json::Value> = Vec::new();
+    {
+        let medium = iso2d_medium(n2);
+        let acq = Acquisition2::surface_line(n2, n2 / 2, n2 / 2, 2, 6);
+        phases.push(profiled_phases("iso2d", top_gangs, |g| {
+            let r = run_rtm(&medium, &acq, &w, &cfg, steps2, snap, g);
+            assert!(r.snapshots_saved > 0);
+        }));
+    }
+    {
+        let medium = ac2d_medium(n2);
+        let acq = Acquisition2::surface_line(n2, n2 / 2, n2 / 2, 2, 6);
+        phases.push(profiled_phases("acoustic2d", top_gangs, |g| {
+            let r = run_rtm(&medium, &acq, &w, &cfg, steps2, snap, g);
+            assert!(r.snapshots_saved > 0);
+        }));
+    }
+    {
+        let medium = iso3d_medium(n3);
+        let acq = Acquisition3::surface_patch(n3, n3, (n3 / 2, n3 / 2, n3 / 2), 3, 8);
+        phases.push(profiled_phases("iso3d", top_gangs, |g| {
+            let r = run_rtm3(&medium, &acq, &w, &cfg, steps3, snap, g);
+            assert!(r.snapshots_saved > 0);
+        }));
+    }
+
     // Emit BENCH_host.json.
     let mut root = serde_json::Map::new();
     root.insert("quick", quick);
@@ -220,6 +394,7 @@ fn main() {
         })
         .collect();
     root.insert("results", samples);
+    root.insert("phases", phases);
     let mut headline = serde_json::Map::new();
     headline.insert("case", "iso3d");
     headline.insert("gangs", 8u64);

@@ -523,6 +523,8 @@ pub fn run_modeling(
         .map(|_| Field2::zeros(medium.extent()))
         .collect();
     let dt = medium.dt();
+    // Wall-clock forward phase (no-op unless the host profiler is on).
+    let t_phase = exec_host::prof::begin();
     for t in 0..steps {
         state.step(medium, config, gangs);
         state.inject(
@@ -538,6 +540,12 @@ pub fn run_modeling(
             state.write_wavefield_into(&mut snapshots[t / snap_period]);
         }
     }
+    exec_host::prof::end(
+        t_phase,
+        exec_host::prof::EventKind::Phase,
+        exec_host::prof::PHASE_FORWARD,
+        0,
+    );
     ModelingResult {
         snapshots,
         seismogram,

@@ -621,6 +621,8 @@ pub fn run_modeling3(
         .map(|_| seismic_grid::Field2::zeros(e2))
         .collect();
     let dt = medium.dt();
+    // Wall-clock forward phase (no-op unless the host profiler is on).
+    let t_phase = exec_host::prof::begin();
     for t in 0..steps {
         state.step(medium, config, gangs);
         state.inject(
@@ -637,6 +639,12 @@ pub fn run_modeling3(
             state.write_slice_y_into(acq.src_iy, &mut snapshots[t / snap_period]);
         }
     }
+    exec_host::prof::end(
+        t_phase,
+        exec_host::prof::EventKind::Phase,
+        exec_host::prof::PHASE_FORWARD,
+        0,
+    );
     Modeling3Result {
         snapshots,
         seismogram,

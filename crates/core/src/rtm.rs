@@ -159,13 +159,16 @@ pub fn migrate_shot_with(
     let mut image = Field2::zeros(e);
     let mut illum = Field2::zeros(e);
     let mut rstate = State2::new(medium);
-    // Backward time loop: t = t_end → t_start.
+    // Backward time loop: t = t_end → t_start. The wall-clock backward
+    // phase wraps the whole loop; imaging spans nest inside it.
+    let t_backward = exec_host::prof::begin();
     for t in (0..steps).rev() {
         // Imaging condition at snapshot times, against the *stored* forward
         // wavefield ("read saved snapshot(time); apply imaging condition").
         if t % snap_period == 0 {
             let snap_idx = t / snap_period;
             if let Some(s) = snapshots.get(snap_idx) {
+                let t_imaging = exec_host::prof::begin();
                 for iz in 0..e.nz {
                     for ix in 0..e.nx {
                         let fwd = s.get(ix, iz);
@@ -177,6 +180,12 @@ pub fn migrate_shot_with(
                         }
                     }
                 }
+                exec_host::prof::end(
+                    t_imaging,
+                    exec_host::prof::EventKind::Phase,
+                    exec_host::prof::PHASE_IMAGING,
+                    0,
+                );
             }
         }
         rstate.step(medium, config, gangs);
@@ -186,6 +195,12 @@ pub fn migrate_shot_with(
             rstate.inject(medium, rcv.ix, rcv.iz, seismogram.get(r, t));
         }
     }
+    exec_host::prof::end(
+        t_backward,
+        exec_host::prof::EventKind::Phase,
+        exec_host::prof::PHASE_BACKWARD,
+        0,
+    );
     if condition == ImagingCondition::SourceNormalized {
         // ε keeps un-illuminated corners from exploding. The peak sits at
         // the source point and is orders of magnitude above the body of the

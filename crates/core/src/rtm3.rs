@@ -88,6 +88,8 @@ pub fn run_rtm3(
         .map(|_| Field3::zeros(medium.extent()))
         .collect();
     let dt = medium.dt();
+    // Wall-clock forward phase (no-op unless the host profiler is on).
+    let t_forward = exec_host::prof::begin();
     for t in 0..steps {
         fstate.step(medium, config, gangs);
         fstate.inject(
@@ -104,6 +106,12 @@ pub fn run_rtm3(
             fstate.write_wavefield_into(&mut snapshots[t / snap_period]);
         }
     }
+    exec_host::prof::end(
+        t_forward,
+        exec_host::prof::EventKind::Phase,
+        exec_host::prof::PHASE_FORWARD,
+        0,
+    );
 
     let (h, v_src, dt) = medium_params3(medium, acq);
     let taper = 2.4 / wavelet.f_peak();
@@ -113,9 +121,11 @@ pub fn run_rtm3(
     let e = medium.extent();
     let mut image = Field3::zeros(e);
     let mut rstate = State3::new(medium);
+    let t_backward = exec_host::prof::begin();
     for t in (0..steps).rev() {
         if t % snap_period == 0 {
             if let Some(s) = snapshots.get(t / snap_period) {
+                let t_imaging = exec_host::prof::begin();
                 for iz in 0..e.nz {
                     for iy in 0..e.ny {
                         for ix in 0..e.nx {
@@ -125,6 +135,12 @@ pub fn run_rtm3(
                         }
                     }
                 }
+                exec_host::prof::end(
+                    t_imaging,
+                    exec_host::prof::EventKind::Phase,
+                    exec_host::prof::PHASE_IMAGING,
+                    0,
+                );
             }
         }
         rstate.step(medium, config, gangs);
@@ -132,6 +148,12 @@ pub fn run_rtm3(
             rstate.inject(medium, rcv.ix, rcv.iy, rcv.iz, muted.get(r, t));
         }
     }
+    exec_host::prof::end(
+        t_backward,
+        exec_host::prof::EventKind::Phase,
+        exec_host::prof::PHASE_BACKWARD,
+        0,
+    );
     Rtm3Result {
         image,
         seismogram: muted,

@@ -27,15 +27,22 @@
 //!   vectorization verifier (`acc-verify::vectorize`): sweeps annotate
 //!   their tilings via [`tiles_for`] with the widest lane count whose
 //!   legality was proven, never assumed.
+//! * [`prof`] — the wall-clock host profiler: per-thread lock-free ring
+//!   buffers recording sweep/slab/barrier/wake/tile/phase events with
+//!   `Instant` timestamps, drained into `acc-obs` wall-clock tracks. Off
+//!   by default (one relaxed load per record site), compile-out via the
+//!   `measure` feature.
 //!
 //! Everything here is `std`-only and dependency-free; `openacc-sim`
 //! re-exports this crate as its gang execution backend.
 
 pub mod arena;
 pub mod pool;
+pub mod prof;
 pub mod simd;
 pub mod tile;
 
 pub use arena::Arena;
 pub use pool::{slab_bounds, GangPool};
-pub use tile::{tiles, tiles_for, Tiling};
+pub use prof::{HostProfile, WorkerSummary};
+pub use tile::{tiles, tiles_for, TileEnvError, Tiling};

@@ -60,6 +60,15 @@ use sys::{thread, AtomicUsize, Condvar, Mutex, Ordering, SPIN_LIMIT};
 #[cfg(not(loom))]
 use std::sync::OnceLock;
 
+// Wall-clock profiling hooks. Compiled out of loom model-check builds: the
+// profiler uses real `Instant`/`thread_local!` state that loom cannot
+// model, and the barrier protocol under test is unchanged by it (recording
+// never branches the schedule).
+#[cfg(not(loom))]
+use crate::prof;
+#[cfg(not(loom))]
+use std::sync::atomic::AtomicU64;
+
 type JoinHandle = thread::JoinHandle<()>;
 
 /// Bounds `(z0, z1)` of slab `g` when `[0, n)` is split over `gangs`
@@ -115,6 +124,12 @@ struct Shared {
     /// Current job. Written by the caller before the epoch bump, read by
     /// workers under the control mutex only while `active`.
     job: UnsafeCell<Option<JobDesc>>,
+    /// Wall-clock stamp (ns since the profiler epoch) of the most recent
+    /// job publish; workers subtract it from their pickup time to measure
+    /// wake latency. Written before the epoch bump (the control mutex
+    /// orders it for readers); 0 = profiler off at publish time.
+    #[cfg(not(loom))]
+    publish_ns: AtomicU64,
 }
 
 // SAFETY: `job` is only written while no launch is active (enforced by the
@@ -153,6 +168,8 @@ impl GangPool {
             claim: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             job: UnsafeCell::new(None),
+            #[cfg(not(loom))]
+            publish_ns: AtomicU64::new(0),
         }));
         let workers = (0..workers)
             .map(|i| {
@@ -251,6 +268,14 @@ impl GangPool {
                 gangs,
             });
         }
+        // Stamp the publish time so workers can report wake latency. The
+        // control-mutex handoff below orders this store before any worker
+        // reads it for the new epoch; 0 marks "profiler was off".
+        #[cfg(not(loom))]
+        shared.publish_ns.store(
+            if prof::enabled() { prof::now_ns() } else { 0 },
+            std::sync::atomic::Ordering::Relaxed,
+        );
         {
             let mut ctl = shared.ctl.lock().expect("pool poisoned");
             ctl.epoch += 1;
@@ -264,11 +289,17 @@ impl GangPool {
                 break;
             }
             let (z0, z1) = slab_bounds(n, gangs, g);
+            #[cfg(not(loom))]
+            let t_slab = prof::begin();
             body(g, z0, z1);
+            #[cfg(not(loom))]
+            prof::end(t_slab, prof::EventKind::Slab, g as u32, (z1 - z0) as u32);
             shared.done.fetch_add(1, Ordering::Release);
         }
         // Fork-join barrier: spin briefly (slabs are usually comparable in
         // cost), then park on the condvar.
+        #[cfg(not(loom))]
+        let t_barrier = prof::begin();
         let mut spins = 0u32;
         while shared.done.load(Ordering::Acquire) < gangs {
             spins += 1;
@@ -282,6 +313,8 @@ impl GangPool {
                 break;
             }
         }
+        #[cfg(not(loom))]
+        prof::end(t_barrier, prof::EventKind::BarrierWait, gangs as u32, 0);
         // Retire the job: wait until every worker that saw this epoch has
         // dropped the pointer, then clear it. A straggler that claimed
         // nothing exits its (empty) claim loop in nanoseconds.
@@ -303,7 +336,11 @@ impl GangPool {
         self.inline_launches.fetch_add(1, Ordering::Relaxed);
         for g in 0..gangs {
             let (z0, z1) = slab_bounds(n, gangs, g);
+            #[cfg(not(loom))]
+            let t_slab = prof::begin();
             body(g, z0, z1);
+            #[cfg(not(loom))]
+            prof::end(t_slab, prof::EventKind::Slab, g as u32, (z1 - z0) as u32);
         }
     }
 }
@@ -340,6 +377,18 @@ fn worker_loop(shared: &'static Shared) {
                 ctl = shared.work_cv.wait(ctl).expect("pool poisoned");
             }
         };
+        // Wake latency: publish stamp (caller clock) → here (worker clock).
+        // The stamp was stored before the epoch bump we just observed under
+        // the control mutex, so it happens-before this read; `Instant` is
+        // monotonic across threads, making the span well-formed.
+        #[cfg(not(loom))]
+        if prof::enabled() {
+            let stamp = shared.publish_ns.load(std::sync::atomic::Ordering::Relaxed);
+            let now = prof::now_ns();
+            if stamp != 0 && stamp <= now {
+                prof::span_ns(prof::EventKind::Wake, seen_epoch as u32, 0, stamp, now);
+            }
+        }
         // SAFETY: the caller blocks until in_flight drains, so the body
         // outlives this claim loop.
         let body: Body<'_> = unsafe { &*desc.body };
@@ -349,7 +398,11 @@ fn worker_loop(shared: &'static Shared) {
                 break;
             }
             let (z0, z1) = slab_bounds(desc.n, desc.gangs, g);
+            #[cfg(not(loom))]
+            let t_slab = prof::begin();
             body(g, z0, z1);
+            #[cfg(not(loom))]
+            prof::end(t_slab, prof::EventKind::Slab, g as u32, (z1 - z0) as u32);
             if shared.done.fetch_add(1, Ordering::Release) + 1 == desc.gangs {
                 let _ctl = shared.ctl.lock().expect("pool poisoned");
                 shared.done_cv.notify_all();

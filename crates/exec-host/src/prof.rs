@@ -1,0 +1,648 @@
+//! Wall-clock host-engine profiler: per-thread lock-free ring buffers.
+//!
+//! The simulated-device stack (`accel-sim`/`acc-obs`) times everything in
+//! *modeled* seconds; the real gang engine in this crate ran dark until
+//! now. This module records what the pool actually does — sweeps, slab
+//! claims, barrier waits, worker wake latency, tile batches, RTM phases —
+//! with `Instant` timestamps, at a cost low enough to leave compiled in:
+//!
+//! * **Disabled** (the default), every record site is one relaxed atomic
+//!   load and a predictable branch — the overhead budget test in
+//!   `bench_host --overhead` holds this below 1% of a modeling run.
+//! * **Enabled**, each span costs two `Instant::now()` calls and one SPSC
+//!   ring push (no locks, no allocation after the ring exists); the same
+//!   budget test holds the end-to-end cost below 5%.
+//! * **Compiled out**: building this crate with
+//!   `--no-default-features` (dropping the `measure` feature) turns every
+//!   record site into a literal no-op that the optimizer deletes.
+//!
+//! ## Ring discipline
+//!
+//! Each recording thread owns one single-producer ring (a slot, assigned
+//! on first record, at most [`MAX_SLOTS`]); the drainer is the single
+//! consumer. Producers never block: a full ring drops the event and bumps
+//! a counter, a thread beyond the slot cap drops everything it records.
+//! [`drain`] consumes every completed event and returns a [`HostProfile`];
+//! `acc-obs::wallclock` turns that into spans on wall-clock tracks, a
+//! metrics registry, and derived gang statistics.
+//!
+//! Timestamps are nanoseconds since a process-wide epoch pinned when the
+//! profiler is first enabled, so events from different threads share one
+//! monotonic timebase (`Instant` is monotonic across threads on every
+//! platform the pool supports).
+//!
+//! Recording **never** touches the physics: no field, no RNG, no
+//! scheduling decision reads profiler state, so enabled-vs-disabled runs
+//! are bitwise identical (pinned by `integration_host_prof`).
+
+use std::time::Instant;
+
+/// What one recorded event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// One gang launch (`par_slabs`) end to end, on the launching thread.
+    /// `arg0` = gangs, `arg1` = rows `n`.
+    Sweep,
+    /// One slab execution. `arg0` = gang index, `arg1` = rows in slab.
+    Slab,
+    /// The launching caller waiting on the fork-join barrier (claim loop
+    /// exhausted → all slabs done + job retired). `arg0` = gangs.
+    BarrierWait,
+    /// Worker wake latency: epoch publish (caller clock) → job pickup
+    /// (worker clock). `arg0` = low 32 bits of the pool epoch.
+    Wake,
+    /// One x-tile batch over a row interval (instant event).
+    /// `arg0` = tiles in the batch, `arg1` = tile width.
+    TileBatch,
+    /// One RTM driver phase. `arg0` = [`PHASE_FORWARD`] /
+    /// [`PHASE_BACKWARD`] / [`PHASE_IMAGING`].
+    Phase,
+}
+
+/// Phase id for the forward-modeling loop.
+pub const PHASE_FORWARD: u32 = 0;
+/// Phase id for the backward (receiver back-propagation) loop.
+pub const PHASE_BACKWARD: u32 = 1;
+/// Phase id for the imaging-condition application (nested inside
+/// backward; subtract to get exclusive backward time).
+pub const PHASE_IMAGING: u32 = 2;
+
+/// Human label of a phase id.
+pub fn phase_name(id: u32) -> &'static str {
+    match id {
+        PHASE_FORWARD => "forward",
+        PHASE_BACKWARD => "backward",
+        PHASE_IMAGING => "imaging",
+        _ => "phase?",
+    }
+}
+
+/// One recorded interval, timestamps in ns since the profiler epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kind-specific argument (gang index, gangs, tiles, phase id).
+    pub arg0: u32,
+    /// Kind-specific argument (rows, tile width).
+    pub arg1: u32,
+    /// Start, ns since epoch.
+    pub start_ns: u64,
+    /// End, ns since epoch (== start for instant events).
+    pub end_ns: u64,
+}
+
+impl Event {
+    /// Duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Maximum concurrently profiled threads; later threads drop their events
+/// (counted in [`HostProfile::thread_overflow`]). 16 gangs + the caller +
+/// shot-level threads fit comfortably.
+pub const MAX_SLOTS: usize = 32;
+
+/// Events one ring holds before dropping (per thread).
+pub const RING_CAP: usize = 1 << 15;
+
+/// The events of one thread slot, in record order.
+#[derive(Debug, Clone)]
+pub struct SlotEvents {
+    /// Slot index (stable per thread for the process lifetime).
+    pub slot: u32,
+    /// Completed events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Everything one [`drain`] call recovered.
+#[derive(Debug, Clone, Default)]
+pub struct HostProfile {
+    /// Per-slot event streams (slots with no events are omitted).
+    pub slots: Vec<SlotEvents>,
+    /// Events dropped because a ring was full.
+    pub dropped: u64,
+    /// Events dropped because more than [`MAX_SLOTS`] threads recorded.
+    pub thread_overflow: u64,
+}
+
+/// Per-slot roll-up derived from a [`HostProfile`] (dependency-free; the
+/// JSON/track rendering lives in `acc-obs::wallclock`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Thread slot.
+    pub slot: u32,
+    /// Slabs executed.
+    pub slabs: u64,
+    /// Rows executed (sum of slab widths).
+    pub rows: u64,
+    /// Tiles executed (sum of tile-batch counts).
+    pub tiles: u64,
+    /// Time inside slab bodies, ns.
+    pub busy_ns: u64,
+    /// Time the launching caller spent waiting on the join barrier, ns.
+    pub barrier_wait_ns: u64,
+    /// Wake latency total (publish → pickup), ns.
+    pub wake_ns: u64,
+    /// Sweeps launched from this thread.
+    pub sweeps: u64,
+}
+
+impl HostProfile {
+    /// Total completed events.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-slot totals.
+    pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let mut w = WorkerSummary {
+                    slot: s.slot,
+                    ..Default::default()
+                };
+                for e in &s.events {
+                    match e.kind {
+                        EventKind::Slab => {
+                            w.slabs += 1;
+                            w.rows += u64::from(e.arg1);
+                            w.busy_ns += e.dur_ns();
+                        }
+                        EventKind::BarrierWait => w.barrier_wait_ns += e.dur_ns(),
+                        EventKind::Wake => w.wake_ns += e.dur_ns(),
+                        EventKind::TileBatch => w.tiles += u64::from(e.arg0),
+                        EventKind::Sweep => w.sweeps += 1,
+                        EventKind::Phase => {}
+                    }
+                }
+                w
+            })
+            .collect()
+    }
+
+    /// Total ns per phase id `[forward, backward, imaging]`, summed over
+    /// every `Phase` event. Imaging events are nested inside backward, so
+    /// exclusive backward time is `backward − imaging`.
+    pub fn phase_totals_ns(&self) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        for s in &self.slots {
+            for e in &s.events {
+                if e.kind == EventKind::Phase {
+                    if let Some(t) = out.get_mut(e.arg0 as usize) {
+                        *t += e.dur_ns();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `[min, max]` event timestamps, ns (0,0 when empty).
+    pub fn time_bounds_ns(&self) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for s in &self.slots {
+            for e in &s.events {
+                lo = lo.min(e.start_ns);
+                hi = hi.max(e.end_ns);
+            }
+        }
+        if lo == u64::MAX {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(feature = "measure")]
+mod imp {
+    use super::{Event, EventKind, HostProfile, SlotEvents, MAX_SLOTS, RING_CAP};
+    use std::cell::{Cell, UnsafeCell};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// One single-producer/single-consumer ring. The owning thread is the
+    /// only pusher; [`super::drain`] is the only popper. `head`/`tail` are
+    /// monotonically increasing indices (masked on access), so `head −
+    /// tail` is the live count and full/empty are unambiguous.
+    struct Ring {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        dropped: AtomicU64,
+        buf: Box<[UnsafeCell<Event>]>,
+    }
+
+    // SAFETY: slots in `buf` are only written by the producer between
+    // checking `head - tail < RING_CAP` and the Release store of `head`,
+    // and only read by the consumer between the Acquire load of `head`
+    // and the Release store of `tail` — never both sides on one index.
+    unsafe impl Sync for Ring {}
+
+    impl Ring {
+        fn new() -> Self {
+            let zero = Event {
+                kind: EventKind::Sweep,
+                arg0: 0,
+                arg1: 0,
+                start_ns: 0,
+                end_ns: 0,
+            };
+            Self {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+                buf: (0..RING_CAP).map(|_| UnsafeCell::new(zero)).collect(),
+            }
+        }
+
+        /// Producer side; never blocks, drops when full.
+        fn push(&self, ev: Event) {
+            let head = self.head.load(Ordering::Relaxed);
+            let tail = self.tail.load(Ordering::Acquire);
+            if head.wrapping_sub(tail) >= RING_CAP {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // SAFETY: index `head` is unreachable by the consumer until
+            // the Release store below publishes it.
+            unsafe {
+                *self.buf[head & (RING_CAP - 1)].get() = ev;
+            }
+            self.head.store(head.wrapping_add(1), Ordering::Release);
+        }
+
+        /// Consumer side.
+        fn drain_into(&self, out: &mut Vec<Event>) {
+            let head = self.head.load(Ordering::Acquire);
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            while tail != head {
+                // SAFETY: indices in [tail, head) were published by the
+                // producer's Release store of `head`.
+                out.push(unsafe { *self.buf[tail & (RING_CAP - 1)].get() });
+                tail = tail.wrapping_add(1);
+            }
+            self.tail.store(tail, Ordering::Release);
+        }
+    }
+
+    struct ProfState {
+        epoch: Instant,
+        rings: [OnceLock<Ring>; MAX_SLOTS],
+        next_slot: AtomicUsize,
+        thread_overflow: AtomicU64,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static STATE: OnceLock<ProfState> = OnceLock::new();
+
+    thread_local! {
+        /// usize::MAX = unassigned; MAX_SLOTS = overflow (drop).
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+
+    fn state() -> &'static ProfState {
+        STATE.get_or_init(|| ProfState {
+            epoch: Instant::now(),
+            rings: [const { OnceLock::new() }; MAX_SLOTS],
+            next_slot: AtomicUsize::new(0),
+            thread_overflow: AtomicU64::new(0),
+        })
+    }
+
+    pub fn set_enabled(on: bool) {
+        if on {
+            // Pin the epoch before any recorder can observe `enabled`.
+            let _ = state();
+        }
+        ENABLED.store(on, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn begin() -> Option<Instant> {
+        if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn now_ns() -> u64 {
+        to_ns(Instant::now())
+    }
+
+    fn to_ns(t: Instant) -> u64 {
+        t.checked_duration_since(state().epoch)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    fn record(ev: Event) {
+        let st = state();
+        let slot = SLOT.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = st.next_slot.fetch_add(1, Ordering::Relaxed).min(MAX_SLOTS);
+                s.set(v);
+            }
+            v
+        });
+        if slot >= MAX_SLOTS {
+            st.thread_overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        st.rings[slot].get_or_init(Ring::new).push(ev);
+    }
+
+    #[inline]
+    pub fn end(t0: Option<Instant>, kind: EventKind, arg0: u32, arg1: u32) {
+        let Some(t0) = t0 else { return };
+        let start_ns = to_ns(t0);
+        let end_ns = to_ns(Instant::now());
+        record(Event {
+            kind,
+            arg0,
+            arg1,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    #[inline]
+    pub fn instant(kind: EventKind, arg0: u32, arg1: u32) {
+        if !enabled() {
+            return;
+        }
+        let ns = now_ns();
+        record(Event {
+            kind,
+            arg0,
+            arg1,
+            start_ns: ns,
+            end_ns: ns,
+        });
+    }
+
+    #[inline]
+    pub fn span_ns(kind: EventKind, arg0: u32, arg1: u32, start_ns: u64, end_ns: u64) {
+        if !enabled() {
+            return;
+        }
+        record(Event {
+            kind,
+            arg0,
+            arg1,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    pub fn drain() -> HostProfile {
+        let Some(st) = STATE.get() else {
+            return HostProfile::default();
+        };
+        let mut profile = HostProfile {
+            slots: Vec::new(),
+            dropped: 0,
+            thread_overflow: st.thread_overflow.swap(0, Ordering::Relaxed),
+        };
+        for (i, cell) in st.rings.iter().enumerate() {
+            let Some(ring) = cell.get() else { continue };
+            let mut events = Vec::new();
+            ring.drain_into(&mut events);
+            profile.dropped += ring.dropped.swap(0, Ordering::Relaxed);
+            if !events.is_empty() {
+                profile.slots.push(SlotEvents {
+                    slot: i as u32,
+                    events,
+                });
+            }
+        }
+        profile
+    }
+}
+
+#[cfg(not(feature = "measure"))]
+mod imp {
+    //! Compile-out path: every record site is a literal no-op.
+    use super::{EventKind, HostProfile};
+    use std::time::Instant;
+
+    pub fn set_enabled(_on: bool) {}
+
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn begin() -> Option<Instant> {
+        None
+    }
+
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn end(_t0: Option<Instant>, _kind: EventKind, _arg0: u32, _arg1: u32) {}
+
+    #[inline(always)]
+    pub fn instant(_kind: EventKind, _arg0: u32, _arg1: u32) {}
+
+    #[inline(always)]
+    pub fn span_ns(_kind: EventKind, _arg0: u32, _arg1: u32, _start_ns: u64, _end_ns: u64) {}
+
+    pub fn drain() -> HostProfile {
+        HostProfile::default()
+    }
+}
+
+/// Turn recording on or off process-wide. Enabling pins the timestamp
+/// epoch (idempotent); disabling leaves buffered events drainable.
+pub fn set_enabled(on: bool) {
+    imp::set_enabled(on)
+}
+
+/// True when recording is on (one relaxed load — the whole disabled-path
+/// cost besides a branch).
+#[inline]
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// Start a span: `Some(now)` when recording, `None` otherwise. Pass the
+/// result to [`end`] — a `None` start makes `end` free.
+#[inline]
+pub fn begin() -> Option<Instant> {
+    imp::begin()
+}
+
+/// Close a span opened by [`begin`] and record it.
+#[inline]
+pub fn end(t0: Option<Instant>, kind: EventKind, arg0: u32, arg1: u32) {
+    imp::end(t0, kind, arg0, arg1)
+}
+
+/// Record an instant (zero-duration) event.
+#[inline]
+pub fn instant(kind: EventKind, arg0: u32, arg1: u32) {
+    imp::instant(kind, arg0, arg1)
+}
+
+/// Nanoseconds since the profiler epoch, for cross-thread spans whose
+/// start is stamped on one thread and recorded on another (worker wake).
+#[inline]
+pub fn now_ns() -> u64 {
+    imp::now_ns()
+}
+
+/// Record a span from explicit epoch-relative timestamps.
+#[inline]
+pub fn span_ns(kind: EventKind, arg0: u32, arg1: u32, start_ns: u64, end_ns: u64) {
+    imp::span_ns(kind, arg0, arg1, start_ns, end_ns)
+}
+
+/// Consume every completed event from every ring. The single consumer:
+/// callers must not drain concurrently with each other (the engine's
+/// drivers drain once per run, after the run).
+pub fn drain() -> HostProfile {
+    imp::drain()
+}
+
+#[cfg(all(test, not(loom), feature = "measure"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The profiler is process-global; tests that toggle it serialize here.
+    pub(crate) static PROF_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        PROF_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = locked();
+        set_enabled(false);
+        drain();
+        end(begin(), EventKind::Slab, 0, 8);
+        instant(EventKind::TileBatch, 4, 64);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_round_trip_with_args_and_order() {
+        let _g = locked();
+        set_enabled(true);
+        drain();
+        let t0 = begin();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        end(t0, EventKind::Slab, 3, 17);
+        instant(EventKind::TileBatch, 5, 128);
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.len(), 2);
+        let evs = &p.slots[0].events;
+        assert_eq!(evs[0].kind, EventKind::Slab);
+        assert_eq!((evs[0].arg0, evs[0].arg1), (3, 17));
+        assert!(evs[0].dur_ns() >= 1_000_000, "slept 1ms: {:?}", evs[0]);
+        assert_eq!(evs[1].kind, EventKind::TileBatch);
+        assert!(evs[1].start_ns >= evs[0].end_ns);
+        assert_eq!(evs[1].dur_ns(), 0);
+        assert_eq!(p.dropped, 0);
+    }
+
+    #[test]
+    fn concurrent_threads_get_distinct_slots() {
+        let _g = locked();
+        set_enabled(true);
+        drain();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100u32 {
+                        end(begin(), EventKind::Slab, i, 1);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.len(), 400);
+        assert!(p.slots.len() >= 2, "threads must not share one ring");
+        for s in &p.slots {
+            // Per-slot streams are in record order.
+            for w in s.events.windows(2) {
+                assert!(w[0].start_ns <= w[1].start_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let _g = locked();
+        set_enabled(true);
+        drain();
+        for _ in 0..RING_CAP + 10 {
+            instant(EventKind::TileBatch, 1, 64);
+        }
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.len(), RING_CAP);
+        assert_eq!(p.dropped, 10);
+        // Drained rings are reusable.
+        set_enabled(true);
+        instant(EventKind::TileBatch, 1, 64);
+        set_enabled(false);
+        let p = drain();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.dropped, 0);
+    }
+
+    #[test]
+    fn summaries_and_phase_totals() {
+        let _g = locked();
+        set_enabled(true);
+        drain();
+        span_ns(EventKind::Phase, PHASE_FORWARD, 0, 0, 3_000);
+        span_ns(EventKind::Phase, PHASE_BACKWARD, 0, 3_000, 9_000);
+        span_ns(EventKind::Phase, PHASE_IMAGING, 0, 4_000, 5_000);
+        span_ns(EventKind::Slab, 0, 10, 100, 200);
+        span_ns(EventKind::Slab, 1, 12, 200, 350);
+        span_ns(EventKind::BarrierWait, 2, 0, 350, 400);
+        span_ns(EventKind::Wake, 0, 0, 90, 120);
+        instant(EventKind::TileBatch, 7, 64);
+        set_enabled(false);
+        let p = drain();
+        let totals = p.phase_totals_ns();
+        assert_eq!(totals, [3_000, 6_000, 1_000]);
+        let w = &p.worker_summaries()[0];
+        assert_eq!(w.slabs, 2);
+        assert_eq!(w.rows, 22);
+        assert_eq!(w.busy_ns, 100 + 150);
+        assert_eq!(w.barrier_wait_ns, 50);
+        assert_eq!(w.wake_ns, 30);
+        assert_eq!(w.tiles, 7);
+        let (lo, hi) = p.time_bounds_ns();
+        assert_eq!(lo, 0);
+        assert!(hi >= 9_000);
+    }
+}

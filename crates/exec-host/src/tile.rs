@@ -16,9 +16,12 @@
 //! The heuristic is deliberately small: aim the per-row working set
 //! (`fields × rows × tile × 4 bytes`) at half of a 256 KiB L2 slice, clamp
 //! to `[64, 4096]`, and never split grids narrower than one tile. An
-//! `ACC_TILE_X` env var overrides the heuristic for experiments (0 or
-//! unset ⇒ auto).
+//! `ACC_TILE_X` env var overrides the heuristic for experiments (unset ⇒
+//! auto; `0`, garbage, or out-of-range values are **rejected with a typed
+//! error** rather than silently falling back — a typo'd experiment must
+//! not quietly measure the auto heuristic).
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Cache budget the per-slab working set is aimed at: half of a
@@ -42,9 +45,22 @@ pub struct Tiling {
 
 impl Tiling {
     /// Iterate `(x0, x1)` tile bounds covering `[lo, hi)`.
+    ///
+    /// When the wall-clock profiler is enabled this also records one
+    /// `TileBatch` instant event (tile count + width, computed
+    /// arithmetically — the iterator itself is untouched); disabled cost
+    /// is a single relaxed load.
     #[inline]
     pub fn ranges(self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, usize)> {
         let tile = self.tile_x.max(1);
+        if hi > lo && crate::prof::enabled() {
+            let n_tiles = (hi - lo).div_ceil(tile);
+            crate::prof::instant(
+                crate::prof::EventKind::TileBatch,
+                n_tiles.min(u32::MAX as usize) as u32,
+                tile.min(u32::MAX as usize) as u32,
+            );
+        }
         (lo..hi)
             .step_by(tile)
             .map(move |x0| (x0, (x0 + tile).min(hi)))
@@ -60,16 +76,63 @@ impl Tiling {
 /// Cached `ACC_TILE_X` override: `usize::MAX` = unread, `0` = auto.
 static TILE_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
 
+/// A malformed `ACC_TILE_X` value. Mirrors `GangEnvError` in
+/// `openacc-sim::exec`: a typo must fail loudly, not silently measure the
+/// auto heuristic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileEnvError {
+    /// The value is not a base-10 unsigned integer.
+    NotANumber(String),
+    /// The value parsed but is 0 or above [`MAX_TILE`].
+    OutOfRange(usize),
+}
+
+impl fmt::Display for TileEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileEnvError::NotANumber(raw) => write!(
+                f,
+                "ACC_TILE_X={raw:?} is not a number; expected 1..={MAX_TILE} (unset it for auto)"
+            ),
+            TileEnvError::OutOfRange(v) => write!(
+                f,
+                "ACC_TILE_X={v} is out of range; expected 1..={MAX_TILE} (unset it for auto)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileEnvError {}
+
+/// Parse one `ACC_TILE_X` value: `1..=MAX_TILE` or a typed error.
+pub fn parse_tile(raw: &str) -> Result<usize, TileEnvError> {
+    let trimmed = raw.trim();
+    let t = trimmed
+        .parse::<usize>()
+        .map_err(|_| TileEnvError::NotANumber(trimmed.to_string()))?;
+    if t == 0 || t > MAX_TILE {
+        return Err(TileEnvError::OutOfRange(t));
+    }
+    Ok(t)
+}
+
+/// Resolve the `ACC_TILE_X` override without caching: `Ok(0)` = unset
+/// (auto), `Ok(t)` = forced width, `Err` = present but malformed.
+pub fn try_tile_override() -> Result<usize, TileEnvError> {
+    match std::env::var("ACC_TILE_X") {
+        Ok(raw) => parse_tile(&raw),
+        Err(_) => Ok(0),
+    }
+}
+
 fn tile_override() -> usize {
     let cached = TILE_OVERRIDE.load(Ordering::Relaxed);
     if cached != usize::MAX {
         return cached;
     }
-    let parsed = std::env::var("ACC_TILE_X")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&t| t > 0 && t <= MAX_TILE)
-        .unwrap_or(0);
+    // Only cache valid outcomes: a malformed value aborts the run with the
+    // typed message instead of being remembered as "auto".
+    let parsed = try_tile_override().unwrap_or_else(|e| panic!("{e}"));
     TILE_OVERRIDE.store(parsed, Ordering::Relaxed);
     parsed
 }
@@ -170,6 +233,33 @@ mod tests {
             vector_width: 1,
         };
         assert_eq!(t.ranges(10, 10).count(), 0);
+    }
+
+    #[test]
+    fn parse_tile_accepts_valid_widths() {
+        assert_eq!(parse_tile("64"), Ok(64));
+        assert_eq!(parse_tile("  4096 "), Ok(4096));
+        assert_eq!(parse_tile("1"), Ok(1));
+    }
+
+    #[test]
+    fn parse_tile_rejects_zero_and_garbage_with_typed_errors() {
+        assert_eq!(parse_tile("0"), Err(TileEnvError::OutOfRange(0)));
+        assert_eq!(parse_tile("4097"), Err(TileEnvError::OutOfRange(4097)));
+        assert_eq!(
+            parse_tile("wide"),
+            Err(TileEnvError::NotANumber("wide".into()))
+        );
+        assert_eq!(parse_tile("-8"), Err(TileEnvError::NotANumber("-8".into())));
+        assert_eq!(parse_tile(""), Err(TileEnvError::NotANumber("".into())));
+        // The messages name the variable, the bad value, and the fix.
+        let msg = TileEnvError::OutOfRange(0).to_string();
+        assert!(
+            msg.contains("ACC_TILE_X") && msg.contains("1..=4096"),
+            "{msg}"
+        );
+        let msg = TileEnvError::NotANumber("wide".into()).to_string();
+        assert!(msg.contains("ACC_TILE_X") && msg.contains("wide"), "{msg}");
     }
 
     #[test]

@@ -157,11 +157,20 @@ where
         return;
     }
     let gangs = gangs.min(n);
+    // Wall-clock sweep span: one per launch, on the launching thread,
+    // covering the single-gang shortcut too.
+    let t_sweep = exec_host::prof::begin();
     if gangs == 1 {
         body(0, n);
-        return;
+    } else {
+        dispatch(n, gangs, &|_g, z0, z1| body(z0, z1));
     }
-    dispatch(n, gangs, &|_g, z0, z1| body(z0, z1));
+    exec_host::prof::end(
+        t_sweep,
+        exec_host::prof::EventKind::Sweep,
+        gangs as u32,
+        n.min(u32::MAX as usize) as u32,
+    );
 }
 
 /// [`par_slabs`] forced onto the legacy per-launch `thread::scope` engine,
@@ -176,11 +185,18 @@ where
         return;
     }
     let gangs = gangs.min(n);
+    let t_sweep = exec_host::prof::begin();
     if gangs == 1 {
         body(0, n);
-        return;
+    } else {
+        scoped_run(n, gangs, &|_g, z0, z1| body(z0, z1));
     }
-    scoped_run(n, gangs, &|_g, z0, z1| body(z0, z1));
+    exec_host::prof::end(
+        t_sweep,
+        exec_host::prof::EventKind::Sweep,
+        gangs as u32,
+        n.min(u32::MAX as usize) as u32,
+    );
 }
 
 /// One recorded memory event: iteration `iter` touched element `elem` of
@@ -373,10 +389,17 @@ where
     let logs: Vec<std::sync::Mutex<GangLog>> = (0..gangs)
         .map(|_| std::sync::Mutex::new(GangLog::new(sanitize)))
         .collect();
+    let t_sweep = exec_host::prof::begin();
     dispatch(n, gangs, &|g, z0, z1| {
         let mut log = logs[g].lock().expect("gang log poisoned");
         body(z0, z1, &mut log);
     });
+    exec_host::prof::end(
+        t_sweep,
+        exec_host::prof::EventKind::Sweep,
+        gangs as u32,
+        n.min(u32::MAX as usize) as u32,
+    );
     ShadowLog {
         per_gang: logs
             .into_iter()

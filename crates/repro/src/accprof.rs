@@ -139,6 +139,12 @@ pub struct ProfileRequest {
     /// the service tracks join the timeline and the server's queue-depth
     /// and shed-rate gauges land in the report registry.
     pub serve: bool,
+    /// Also run the case for real (smoke scale) on the pooled host engine
+    /// with the wall-clock profiler on: the per-worker wall-clock tracks
+    /// join the same timeline (distinct clock domain, labeled `wall
+    /// worker N` with a `clock=wall` arg), the derived gang metrics land
+    /// in the registry, and `host_profile.json` is emitted.
+    pub host: bool,
 }
 
 /// The four artifacts plus the raw session, for tests that want to poke.
@@ -151,6 +157,9 @@ pub struct ProfileOutput {
     pub trace_json: String,
     /// Machine-readable roll-up.
     pub report_json: String,
+    /// Standalone wall-clock profile document (`--host` only): the
+    /// derived gang report plus the raw per-slot event streams.
+    pub host_profile_json: Option<String>,
     /// The observed session (tracer + metrics + registry).
     pub session: Arc<ObsSession>,
     /// The priced run (timing breakdown + profiler ledger).
@@ -206,6 +215,22 @@ pub fn profile(req: &ProfileRequest) -> Result<ProfileOutput, RtmError> {
         crate::serve::smoke_run(Some(&obs))?;
     }
 
+    // The real host run rides on the same session too: a smoke-scale
+    // execution of the same case on the pooled host engine, its
+    // wall-clock worker tracks merged next to the simulated-time tracks
+    // (two clock domains, one timeline; each wall span carries a
+    // `clock=wall` arg so the domains cannot be confused).
+    let (host_profile_json, host_report) = if req.host {
+        let (_hw, _wall_s, hp) = crate::calibrate::profiled_host_run(&req.case, 4);
+        let report = acc_obs::wallclock::ingest(&hp, &obs);
+        (
+            Some(acc_obs::wallclock::host_profile_json(&hp)),
+            Some(report),
+        )
+    } else {
+        (None, None)
+    };
+
     let label = device_label(req.device);
     let nvprof_summary = run.runtime.profiler().render(&label);
     let metrics = obs.metrics().render(&label);
@@ -219,19 +244,26 @@ pub fn profile(req: &ProfileRequest) -> Result<ProfileOutput, RtmError> {
         .validate_tracks()
         .map_err(RtmError::Observability)?;
 
-    let report_json = build_report(req, &w, &run, &obs);
+    let report_json = build_report(req, &w, &run, &obs, host_report.as_ref());
     Ok(ProfileOutput {
         nvprof_summary,
         metrics,
         trace_json,
         report_json,
+        host_profile_json,
         session: obs,
         run,
     })
 }
 
 /// The machine-readable roll-up of one profiled run.
-fn build_report(req: &ProfileRequest, w: &Workload, run: &GpuRun, obs: &ObsSession) -> String {
+fn build_report(
+    req: &ProfileRequest,
+    w: &Workload,
+    run: &GpuRun,
+    obs: &ObsSession,
+    host: Option<&acc_obs::wallclock::HostReport>,
+) -> String {
     let mut doc = serde_json::Map::new();
     doc.insert("tool", "accprof");
     doc.insert("case", case_name(&req.case));
@@ -261,6 +293,9 @@ fn build_report(req: &ProfileRequest, w: &Workload, run: &GpuRun, obs: &ObsSessi
         .map(|t| serde_json::Value::from(t.label()))
         .collect();
     doc.insert("tracks", tracks);
+    if let Some(h) = host {
+        doc.insert("host", h.to_json());
+    }
     doc.insert("span_count", obs.tracer.len() as u64);
     doc.insert("metrics", obs.metrics().to_json());
     doc.insert("registry", obs.registry.to_json());
@@ -297,6 +332,7 @@ mod tests {
             device: DeviceChoice::K40,
             steps: Some(20),
             serve: false,
+            host: false,
         };
         let out = profile(&req).expect("smoke profile runs");
         assert!(out.nvprof_summary.contains("Compute"));
@@ -343,6 +379,7 @@ mod tests {
             device: DeviceChoice::K40,
             steps: Some(10),
             serve: true,
+            host: false,
         };
         let out = profile(&req).expect("served profile runs");
         let report = serde_json::from_str(&out.report_json).expect("valid report JSON");
@@ -367,6 +404,48 @@ mod tests {
             labels.iter().any(|l| l.starts_with("serve dev")),
             "{labels:?}"
         );
+    }
+
+    /// `--host` merges a real wall-clock run into the same timeline: the
+    /// `wall worker N` tracks join the simulated-time tracks (the merged
+    /// trace still self-validates inside `profile`), the derived gang
+    /// metrics land in the registry, and the standalone host profile
+    /// document is emitted.
+    #[test]
+    fn host_profile_merges_wall_tracks() {
+        let req = ProfileRequest {
+            case: parse_case("iso2d").unwrap(),
+            mode: RunMode::Rtm,
+            device: DeviceChoice::K40,
+            steps: Some(10),
+            serve: false,
+            host: true,
+        };
+        let out = profile(&req).expect("host profile runs");
+        let labels: Vec<String> = out
+            .session
+            .tracer
+            .tracks()
+            .iter()
+            .map(|t| t.label())
+            .collect();
+        // Both clock domains on one timeline.
+        assert!(
+            labels.iter().any(|l| l.starts_with("wall worker")),
+            "{labels:?}"
+        );
+        assert!(labels.iter().any(|l| l == "host"), "{labels:?}");
+
+        let hp = out.host_profile_json.expect("host profile emitted");
+        let doc = serde_json::from_str(&hp).expect("valid host profile JSON");
+        assert_eq!(doc.get("clock").unwrap().as_str(), Some("wall"));
+        assert!(doc.get("report").unwrap().get("utilization").is_some());
+        assert!(!doc.get("slots").unwrap().as_array().unwrap().is_empty());
+
+        let report = serde_json::from_str(&out.report_json).expect("valid report JSON");
+        assert!(report.get("host").unwrap().get("wall_s").is_some());
+        let gauges = report.get("registry").unwrap().get("gauges").unwrap();
+        assert!(gauges.get("host_utilization").is_some());
     }
 
     /// Observability must not perturb the modeled timings: the observed

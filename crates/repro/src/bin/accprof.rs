@@ -7,11 +7,15 @@
 //! * `nvprof_summary.txt` — Figure-14/15-style per-kernel/memcpy table,
 //! * `metrics.txt` — `nvprof --metrics`-style per-kernel counters,
 //! * `trace.json` — Chrome/Perfetto timeline (open in `ui.perfetto.dev`),
-//! * `report.json` — machine-readable roll-up.
+//! * `report.json` — machine-readable roll-up,
+//! * `host_profile.json` (with `--host`) — the real wall-clock host-engine
+//!   run's derived gang report and raw per-worker event streams; its
+//!   `wall worker N` tracks also join `trace.json` next to the
+//!   simulated-time tracks.
 //!
 //! ```text
 //! accprof --case iso3d --device k40 [--mode rtm|modeling]
-//!         [--steps N] [--out DIR]
+//!         [--steps N] [--serve] [--host] [--out DIR]
 //! ```
 
 use repro::accprof::{parse_case, profile, DeviceChoice, ProfileRequest, RunMode};
@@ -19,7 +23,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: accprof --case {iso2d|ac2d|el2d|iso3d|ac3d|el3d} \
---device {m2090|k40} [--mode {modeling|rtm}] [--steps N] [--serve] [--out DIR]";
+--device {m2090|k40} [--mode {modeling|rtm}] [--steps N] [--serve] [--host] [--out DIR]";
 
 struct Args {
     req: ProfileRequest,
@@ -32,6 +36,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut mode = RunMode::Rtm;
     let mut steps = None;
     let mut serve = false;
+    let mut host = false;
     let mut out = PathBuf::from("accprof-out");
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -64,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--serve" => serve = true,
+            "--host" => host = true,
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -78,6 +84,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             device,
             steps,
             serve,
+            host,
         },
         out,
     })
@@ -111,6 +118,14 @@ fn main() -> ExitCode {
     ] {
         let path = args.out.join(name);
         if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("accprof: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(hp) = &out.host_profile_json {
+        let path = args.out.join("host_profile.json");
+        if let Err(e) = std::fs::write(&path, hp) {
             eprintln!("accprof: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

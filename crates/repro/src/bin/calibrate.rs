@@ -1,0 +1,48 @@
+//! `calibrate` — model-vs-measured calibration of the GPU timing model
+//! against real host-engine runs.
+//!
+//! ```text
+//! calibrate [--smoke] [--out DIR]
+//! ```
+//!
+//! Runs all six propagator cases for real on the pooled host engine with
+//! the wall-clock profiler on, prices the same workloads on both of the
+//! paper's GPUs, and writes `calibration.json` plus a markdown table to
+//! stdout. `--smoke` shrinks the grids for CI.
+
+use repro::calibrate::run_calibration;
+use std::path::PathBuf;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from("target/calibration");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+                out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: calibrate [--smoke] [--out DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_calibration(smoke);
+    print!("{}", report.to_markdown());
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = out_dir.join("calibration.json");
+    std::fs::write(&path, report.to_json()).expect("write calibration.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -19,7 +19,11 @@
 //!   cases plus the seeded mutation gate (`accverify --vector`),
 //! * [`accprof`] — the pseudo-profiler: one observed run of any case
 //!   emitting an nvprof-style summary, a `--metrics` counter table, a
-//!   Perfetto timeline, and a machine-readable report.
+//!   Perfetto timeline, and a machine-readable report,
+//! * [`calibrate`] — model-vs-measured calibration: real host-engine runs
+//!   of the six propagator cases (wall-clock, per-phase profiled) against
+//!   the GPU timing model's pricing of the same workloads, with per-device
+//!   rank correlations (the `calibrate` binary and CI artifact).
 //!
 //! * [`serve`] — service-level study of `acc-serve`: offered load swept
 //!   past fleet capacity (goodput, tail latency, shed rate, breaker
@@ -37,6 +41,7 @@
 
 pub mod ablation;
 pub mod accprof;
+pub mod calibrate;
 pub mod cases;
 pub mod figures;
 pub mod paper;

@@ -42,6 +42,7 @@ fn metrics_agree_with_analytic_model_across_all_cases() {
                     device,
                     steps: Some(10),
                     serve: false,
+                    host: false,
                 };
                 let out = match profile(&req) {
                     Ok(o) => o,
@@ -206,6 +207,7 @@ fn iso3d_trace_has_three_monotone_tracks() {
         device: DeviceChoice::K40,
         steps: Some(25),
         serve: false,
+        host: false,
     };
     let out = profile(&req).expect("iso3d fits the K40");
 
